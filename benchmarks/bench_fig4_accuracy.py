@@ -1,0 +1,79 @@
+"""Figure 4 — Accuracy vs Sample Size.
+
+Regenerates the paper's accuracy comparison between histogram and discrete
+approximations of Gaussian pdfs under the Section IV range-query workload,
+and benchmarks the per-representation range-probability kernels.
+
+Run: ``pytest benchmarks/bench_fig4_accuracy.py --benchmark-only -q``
+"""
+
+import pytest
+
+from repro.bench.figures import fig4_accuracy
+from repro.bench.reporting import print_figure
+from repro.pdf import IntervalSet, discretize, to_histogram
+from repro.workloads import generate_range_queries, generate_readings
+
+SAMPLE_SIZES = (2, 3, 5, 8, 10, 15, 20, 25, 30)
+
+
+def bench_fig4_series(benchmark, capsys):
+    """Regenerate and print the full Figure 4 data series (hist-5 ~ ±0.01)."""
+    headers, rows = benchmark.pedantic(
+        lambda: fig4_accuracy(sample_sizes=SAMPLE_SIZES, n_pdfs=100, n_queries=100),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print_figure("Figure 4: Accuracy vs Sample Size", headers, rows)
+    by_size = {int(r[0]): r[1:] for r in rows}
+    # Paper-shape assertions.
+    assert by_size[5][0] < 0.02  # hist-5 around ±0.01
+    assert by_size[25][2] < 2 * by_size[5][0]  # disc needs ~25 points
+    for size in (5, 10, 25):
+        assert by_size[size][0] < by_size[size][2]  # hist beats disc
+
+
+@pytest.fixture(scope="module")
+def workload():
+    readings = generate_readings(50, seed=7)
+    queries = generate_range_queries(50, seed=8)
+    windows = [IntervalSet.between(q.lo, q.hi) for q in queries]
+    return readings, windows
+
+
+def _total_prob(pdfs, windows):
+    total = 0.0
+    for pdf in pdfs:
+        for window in windows:
+            total += pdf.prob_interval(window)
+    return total
+
+
+def bench_symbolic_range_queries(benchmark, workload):
+    readings, windows = workload
+    pdfs = [r.pdf for r in readings]
+    benchmark(_total_prob, pdfs, windows)
+
+
+def bench_histogram5_range_queries(benchmark, workload):
+    readings, windows = workload
+    pdfs = [to_histogram(r.pdf, 5) for r in readings]
+    benchmark(_total_prob, pdfs, windows)
+
+
+def bench_discrete25_range_queries(benchmark, workload):
+    readings, windows = workload
+    pdfs = [discretize(r.pdf, 25) for r in readings]
+    benchmark(_total_prob, pdfs, windows)
+
+
+def bench_discretization_itself(benchmark, workload):
+    readings, _ = workload
+    benchmark(lambda: [discretize(r.pdf, 25) for r in readings])
+
+
+def bench_histogramming_itself(benchmark, workload):
+    readings, _ = workload
+    benchmark(lambda: [to_histogram(r.pdf, 5) for r in readings])

@@ -1,0 +1,87 @@
+"""Figure 5 — Performance of Discretized PDFs.
+
+Regenerates the paper's runtime/IO comparison of the three representations
+(symbolic, 5-bucket histogram, 25-point discrete — the latter two fixed for
+equal accuracy per Figure 4) over a growing ``Readings`` table, and
+benchmarks the end-to-end range-query workload per representation.
+
+The 2008 testbed was disk-bound; the printed ``*_cost`` series charges each
+simulated physical page read 1 ms on top of measured CPU time (see
+DESIGN.md's substitution table), with raw CPU seconds and page counts
+reported alongside.
+
+Run: ``pytest benchmarks/bench_fig5_discretization.py --benchmark-only -q``
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    _build_database,
+    _run_range_workload,
+    fig5_discretized_performance,
+)
+from repro.bench.reporting import print_figure
+from repro.workloads import generate_range_queries, generate_readings
+
+TUPLES = 1000
+QUERIES = 5
+
+
+def bench_fig5_series(benchmark, capsys):
+    """Regenerate and print the full Figure 5 data series."""
+    headers, rows = benchmark.pedantic(
+        lambda: fig5_discretized_performance(
+            tuple_counts=(250, 500, 1000, 2000), n_queries=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print_figure("Figure 5: Performance of Discretized PDFs", headers, rows)
+    idx = {h: i for i, h in enumerate(headers)}
+    large = rows[-1]
+    # Paper shape: discrete-25 costs the most; I/O strictly ordered.
+    assert large[idx["disc25_cost"]] > large[idx["hist5_cost"]]
+    assert large[idx["disc25_io"]] > large[idx["hist5_io"]] > large[idx["symbolic_io"]]
+
+
+@pytest.fixture(scope="module")
+def readings():
+    return generate_readings(TUPLES, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_range_queries(QUERIES, seed=12)
+
+
+def bench_fig5_symbolic_workload(benchmark, readings, queries):
+    db = _build_database(readings, "symbolic", 0, buffer_pages=64)
+    benchmark(_run_range_workload, db, queries)
+
+
+def bench_fig5_histogram5_workload(benchmark, readings, queries):
+    db = _build_database(readings, "histogram", 5, buffer_pages=64)
+    benchmark(_run_range_workload, db, queries)
+
+
+def bench_fig5_discrete25_workload(benchmark, readings, queries):
+    db = _build_database(readings, "discrete", 25, buffer_pages=64)
+    benchmark(_run_range_workload, db, queries)
+
+
+def bench_fig5_load_symbolic(benchmark, readings, queries):
+    benchmark.pedantic(
+        lambda: _build_database(readings, "symbolic", 0, buffer_pages=64),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def bench_fig5_load_discrete25(benchmark, readings, queries):
+    benchmark.pedantic(
+        lambda: _build_database(readings, "discrete", 25, buffer_pages=64),
+        rounds=2,
+        iterations=1,
+    )

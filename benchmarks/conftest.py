@@ -1,0 +1,14 @@
+"""Shared benchmark fixtures and result reporting.
+
+Each ``bench_fig*.py`` regenerates one of the paper's figures: the
+pytest-benchmark entries time the figure's workload kernels, and a summary
+hook prints the full figure series (the same rows ``python -m repro.bench``
+emits) so benchmark runs double as reproduction runs.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks run in definition order; keep figure order stable.
+    items.sort(key=lambda item: item.fspath.basename)

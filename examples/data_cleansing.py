@@ -1,0 +1,68 @@
+"""Data cleansing: multiple alternatives for an incorrect value.
+
+The paper's introduction lists data cleansing among the motivating
+applications: when a value fails validation, the cleansing process often
+produces *several candidate corrections* with confidences.  Instead of
+picking one (and being wrong some of the time), the probabilistic database
+stores the **mixture** of candidates — and every later query accounts for
+the remaining uncertainty automatically.
+
+Run: ``python examples/data_cleansing.py``
+"""
+
+from repro import Database
+from repro.pdf import DiscretePdf, GaussianPdf, mixture
+
+
+def main() -> None:
+    db = Database()
+    db.execute("CREATE TABLE salaries (emp_id INT, name TEXT, salary REAL UNCERTAIN)")
+
+    # Clean rows are point masses (a certain value, stored uniformly).
+    db.execute("INSERT INTO salaries VALUES (1, 'ada', 84000), (2, 'grace', 91000)")
+
+    # Row 3 failed validation: the form said 7200, which violates the
+    # plausible range.  The cleansing model proposes three candidate fixes.
+    candidates = [
+        DiscretePdf({72000: 1.0}),   # missing a zero
+        DiscretePdf({7200.0: 1.0}),  # actually a part-time salary, keep it
+        GaussianPdf(65000, 9e6),     # imputed from peers (sd 3000)
+    ]
+    confidences = [0.6, 0.1, 0.3]
+    repaired = mixture(candidates, confidences, bins=256)
+    db.table("salaries").insert(
+        certain={"emp_id": 3, "name": "mallory"}, uncertain={"salary": repaired}
+    )
+    print("The cleansed table keeps all three hypotheses:")
+    print(db.execute("SELECT * FROM salaries").pretty())
+    print()
+
+    # Who earns more than 70k? Mallory qualifies only with the mass of the
+    # hypotheses that put her above the bar.
+    result = db.execute("SELECT name FROM salaries WHERE salary > 70000")
+    print("P(salary > 70000):")
+    for t in result.rows:
+        print(f"  {t.certain['name']:<8} {db.existence_probability(t):.4f}")
+    print()
+
+    confident = db.execute(
+        "SELECT name FROM salaries WHERE PROB(salary > 70000) >= 0.9"
+    ).to_dicts()
+    print("With >= 90% confidence, only:", [r["name"] for r in confident])
+    print()
+
+    # Payroll total is a distribution reflecting the unresolved cleansing.
+    total = db.execute("SELECT SUM(salary) FROM salaries").scalar()
+    print(f"Total payroll: mean {total.mean():,.0f}, sd {total.variance() ** 0.5:,.0f}")
+    print()
+
+    # Later, HR confirms the part-time hypothesis: UPDATE replaces the
+    # mixture with fresh evidence (a new base pdf, old history released).
+    db.execute("UPDATE salaries SET salary = 7200 WHERE emp_id = 3")
+    total = db.execute("SELECT SUM(salary) FROM salaries").scalar()
+    print(f"After confirmation: total payroll mean {total.mean():,.0f}, "
+          f"sd {total.variance() ** 0.5:,.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: the paper's Table I sensor database, in SQL.
+
+Creates the sensor relation from the paper's running example, runs range
+queries (selection floors Gaussians symbolically), probabilistic threshold
+queries, and aggregates.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # Table I: Sensor(id, location) with Gaussian location readings.
+    db.execute("CREATE TABLE sensors (id INT, location REAL UNCERTAIN)")
+    db.execute(
+        "INSERT INTO sensors VALUES "
+        "(1, GAUS(20, 5)), "  # Gaus(mean, variance), as in the paper
+        "(2, GAUS(25, 4)), "
+        "(3, GAUS(13, 1))"
+    )
+
+    print("The sensor table (paper Table I):")
+    print(db.execute("SELECT * FROM sensors").pretty())
+    print()
+
+    # A range query: which sensors read between 18 and 22?
+    # Selection floors each Gaussian symbolically; tuples keep partial mass.
+    result = db.execute("SELECT * FROM sensors WHERE location > 18 AND location < 22")
+    print("Sensors with location in (18, 22)  —  note the symbolic floors:")
+    print(result.pretty())
+    print()
+    for t in result.rows:
+        pdf = t.pdf_of_attr("location")
+        print(
+            f"  sensor {t.certain['id']}: qualifies with probability "
+            f"{pdf.mass():.4f}"
+        )
+    print()
+
+    # Threshold query (Section III-E): demand at least 50% confidence.
+    confident = db.execute(
+        "SELECT id FROM sensors WHERE PROB(location > 18 AND location < 22) >= 0.5"
+    )
+    print("With >= 50% confidence, only:", [r["id"] for r in confident.to_dicts()])
+    print()
+
+    # Aggregates over uncertain attributes return *distributions*.
+    total = db.execute("SELECT SUM(location) FROM sensors").scalar()
+    print(f"SUM(location) is itself a pdf: {total!r}")
+    expected = db.execute("SELECT EXPECTED(location) FROM sensors").scalar()
+    print(f"EXPECTED(location) = {expected}")
+    print()
+
+    # EXPLAIN shows the executor plan; add an index and watch it change.
+    db.execute("CREATE PROB INDEX ON sensors (location)")
+    plan = db.execute(
+        "EXPLAIN SELECT id FROM sensors WHERE location > 18 AND location < 22"
+    ).plan_text
+    print("Plan with a probability-threshold index:")
+    print(plan)
+
+
+if __name__ == "__main__":
+    main()

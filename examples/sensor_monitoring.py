@@ -1,0 +1,93 @@
+"""Sensor monitoring at scale: the paper's Section IV workload.
+
+Loads a few thousand synthetic sensor readings (Gaussian value pdfs with
+the paper's parameter distributions), compares the three storage
+representations, runs a monitoring query mix, and reports accuracy and I/O.
+
+Run: ``python examples/sensor_monitoring.py``
+"""
+
+from repro import Database
+from repro.engine.storage.serialize import pdf_size
+from repro.pdf import IntervalSet, discretize, to_histogram
+from repro.workloads import generate_range_queries, generate_readings
+
+N_READINGS = 2000
+N_QUERIES = 8
+
+
+def load(db: Database, readings, representation: str, size: int) -> None:
+    db.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)")
+    table = db.table("readings")
+    for r in readings:
+        if representation == "symbolic":
+            pdf = r.pdf
+        elif representation == "histogram":
+            pdf = to_histogram(r.pdf, size)
+        else:
+            pdf = discretize(r.pdf, size)
+        table.insert(certain={"rid": r.rid}, uncertain={"value": pdf})
+    db.catalog.pool.flush_all()
+
+
+def main() -> None:
+    readings = generate_readings(N_READINGS, seed=2026)
+    queries = generate_range_queries(N_QUERIES, seed=7)
+
+    print(f"{N_READINGS} sensor readings, {N_QUERIES} range queries\n")
+    print(f"{'repr':<12} {'bytes/pdf':>9} {'pages':>6} {'page reads':>10} "
+          f"{'rows':>6} {'mean |err|':>10}")
+
+    exact_answers = {}
+    for representation, size in (("symbolic", 0), ("histogram", 5), ("discrete", 25)):
+        db = Database(buffer_capacity=64)
+        load(db, readings, representation, size)
+        db.catalog.pool.clear()
+        db.reset_io_stats()
+
+        rows = 0
+        total_error = 0.0
+        comparisons = 0
+        for qi, q in enumerate(queries):
+            result = db.execute(
+                f"SELECT rid FROM readings WHERE value > {q.lo} AND value < {q.hi}"
+            )
+            rows += len(result)
+            # Accuracy vs the exact symbolic answer, per qualifying tuple.
+            window = IntervalSet.between(q.lo, q.hi)
+            if representation == "symbolic":
+                exact_answers[qi] = {
+                    r.rid: r.pdf.prob_interval(window) for r in readings
+                }
+            else:
+                for r in readings:
+                    if representation == "histogram":
+                        approx_pdf = to_histogram(r.pdf, size)
+                    else:
+                        approx_pdf = discretize(r.pdf, size)
+                    total_error += abs(
+                        approx_pdf.prob_interval(window) - exact_answers[qi][r.rid]
+                    )
+                    comparisons += 1
+
+        sample = readings[0].pdf
+        if representation == "histogram":
+            sample = to_histogram(sample, size)
+        elif representation == "discrete":
+            sample = discretize(sample, size)
+        mean_err = total_error / comparisons if comparisons else 0.0
+        table = db.table("readings")
+        print(
+            f"{representation:<12} {pdf_size(sample):>9} {table.heap.num_pages:>6} "
+            f"{db.io_counters.reads:>10} {rows:>6} {mean_err:>10.5f}"
+        )
+
+    print(
+        "\nThe symbolic representation is exact and smallest; the 25-point\n"
+        "discrete sampling needs ~5x the bytes of the 5-bucket histogram for\n"
+        "comparable accuracy — the trade-off behind the paper's Figures 4-5."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Text annotations: categorical and tuple-level uncertainty.
+
+The paper's introduction motivates the model with text annotation
+("annotations are rarely perfect").  Each extracted token carries a
+categorical distribution over entity labels; tokens that may not be
+entities at all get *partial* pdfs — tuple uncertainty via attribute
+uncertainty, with no separate mechanism.
+
+Run: ``python examples/text_annotations.py``
+"""
+
+from repro import Database
+from repro.workloads import generate_annotations
+
+
+def main() -> None:
+    db = Database()
+    db.execute(
+        "CREATE TABLE annotations (token_id INT, doc_id INT, label TEXT UNCERTAIN)"
+    )
+
+    tokens = generate_annotations(300, seed=17)
+    table = db.table("annotations")
+    for tok in tokens:
+        table.insert(
+            certain={"token_id": tok.token_id, "doc_id": tok.doc_id},
+            uncertain={"label": tok.pdf},
+        )
+    print(f"Loaded {len(tokens)} annotated tokens\n")
+
+    print("A sample of the data:")
+    print(db.execute("SELECT * FROM annotations LIMIT 5").pretty())
+    print()
+
+    # Equality selection over a categorical attribute: the pdf is floored to
+    # the 'person' outcome; the tuple survives with that outcome's mass.
+    people = db.execute("SELECT token_id FROM annotations WHERE label = 'person'")
+    print(f"{people.rowcount} tokens have positive probability of being a person")
+
+    confident = db.execute(
+        "SELECT token_id FROM annotations WHERE PROB(label = 'person') >= 0.8"
+    )
+    print(f"{confident.rowcount} of them with >= 80% confidence\n")
+
+    # COUNT(*) after an uncertain selection is a distribution, not a number:
+    count_pdf = db.execute(
+        "SELECT COUNT(*) FROM annotations WHERE label = 'person'"
+    ).scalar()
+    print("How many persons are there? A pdf, as it should be:")
+    mean = count_pdf.mean()
+    sd = count_pdf.variance() ** 0.5
+    print(f"  E[count] = {mean:.2f}, sd = {sd:.2f}")
+    peak = max(count_pdf.items(), key=lambda kv: kv[1])
+    print(f"  most likely count: {int(peak[0])} (probability {peak[1]:.3f})\n")
+
+    # Partial pdfs encode "might not be an entity at all":
+    maybe_missing = db.execute(
+        "SELECT token_id FROM annotations WHERE PROB(*) < 0.99"
+    )
+    print(
+        f"{maybe_missing.rowcount} tokens might not be entities at all "
+        "(partial pdfs: the missing mass is the probability the tuple "
+        "does not exist)"
+    )
+
+
+if __name__ == "__main__":
+    main()

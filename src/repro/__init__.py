@@ -1,0 +1,86 @@
+"""repro — Database Support for Probabilistic Attributes and Tuples.
+
+A from-scratch reproduction of Singh, Mayfield, Shah, Prabhakar, Hambrusch,
+Neville, Cheng (ICDE 2008): a probabilistic database model that handles both
+continuous and discrete uncertainty natively, at attribute and tuple level,
+closed under possible worlds semantics.
+
+Layers (bottom-up):
+
+* :mod:`repro.pdf` — distributions: symbolic continuous/discrete families,
+  histograms, discrete sampling, symbolic floors, joint pdfs.
+* :mod:`repro.core` — the paper's model: probabilistic schemas with
+  dependency sets, partial pdfs, histories, and the relational operators;
+  plus a brute-force possible-worlds reference engine.
+* :mod:`repro.engine` — the DBMS substrate standing in for PostgreSQL:
+  page-based storage with buffer management and I/O accounting, an
+  iterator-model executor, B-tree and probability-threshold indexes, and a
+  SQL dialect with uncertainty extensions.
+* :mod:`repro.workloads` — the paper's synthetic workload generators.
+* :mod:`repro.bench` — harness utilities that regenerate the paper's
+  figures.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)")
+    db.execute("INSERT INTO readings VALUES (1, GAUSSIAN(20, 5))")
+    rows = db.execute("SELECT rid FROM readings WHERE value > 18").rows
+"""
+
+from . import core, pdf
+from .core import (
+    Column,
+    Comparison,
+    DataType,
+    ModelConfig,
+    ProbabilisticRelation,
+    ProbabilisticSchema,
+    col,
+    join,
+    project,
+    select,
+    threshold_select,
+)
+from .engine.database import Database
+from .errors import ReproError
+from .pdf import (
+    CategoricalPdf,
+    DiscretePdf,
+    GaussianPdf,
+    HistogramPdf,
+    JointDiscretePdf,
+    JointGaussianPdf,
+    UniformPdf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "pdf",
+    "core",
+    "Database",
+    "ReproError",
+    # convenience re-exports
+    "Column",
+    "DataType",
+    "ProbabilisticSchema",
+    "ProbabilisticRelation",
+    "ModelConfig",
+    "Comparison",
+    "col",
+    "select",
+    "project",
+    "join",
+    "threshold_select",
+    "GaussianPdf",
+    "UniformPdf",
+    "DiscretePdf",
+    "CategoricalPdf",
+    "HistogramPdf",
+    "JointDiscretePdf",
+    "JointGaussianPdf",
+]

@@ -1,0 +1,12 @@
+"""Benchmark harness: the paper's figures as runnable experiments."""
+
+from .figures import fig4_accuracy, fig5_discretized_performance, fig6_history_overhead
+from .reporting import format_table, print_figure
+
+__all__ = [
+    "fig4_accuracy",
+    "fig5_discretized_performance",
+    "fig6_history_overhead",
+    "format_table",
+    "print_figure",
+]

@@ -1,0 +1,54 @@
+"""CLI: regenerate the paper's figures.
+
+::
+
+    python -m repro.bench fig4          # accuracy vs sample size
+    python -m repro.bench fig5          # performance of discretized pdfs
+    python -m repro.bench fig6          # overhead of histories
+    python -m repro.bench all --quick   # everything, smaller parameters
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .figures import fig4_accuracy, fig5_discretized_performance, fig6_history_overhead
+from .reporting import print_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's figures")
+    parser.add_argument("figure", choices=["fig4", "fig5", "fig6", "all"])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller parameters for a fast run"
+    )
+    args = parser.parse_args()
+
+    if args.figure in ("fig4", "all"):
+        if args.quick:
+            headers, rows = fig4_accuracy(
+                sample_sizes=(2, 5, 10, 25), n_pdfs=40, n_queries=40
+            )
+        else:
+            headers, rows = fig4_accuracy()
+        print_figure("Figure 4: Accuracy vs Sample Size", headers, rows)
+
+    if args.figure in ("fig5", "all"):
+        if args.quick:
+            headers, rows = fig5_discretized_performance(
+                tuple_counts=(200, 400, 800), n_queries=4
+            )
+        else:
+            headers, rows = fig5_discretized_performance()
+        print_figure("Figure 5: Performance of Discretized PDFs", headers, rows)
+
+    if args.figure in ("fig6", "all"):
+        if args.quick:
+            headers, rows = fig6_history_overhead(tuple_counts=(50, 100, 150))
+        else:
+            headers, rows = fig6_history_overhead()
+        print_figure("Figure 6: Overhead of Histories", headers, rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Duplicate elimination — the paper's future-work operator, restricted.
+
+Section III-B: "we do not address the issue of duplicate elimination in
+projections in this paper ... the concept of duplicate elimination for
+probabilistic data in general leads to complex historical dependencies."
+
+This module implements the tractable fragment:
+
+* every *visible* attribute of the input must be **certain** (project the
+  uncertain ones away first — their dependency sets may persist as
+  phantoms carrying existence mass),
+* tuples carrying the same certain values must be **historically
+  independent** of each other (lineages disjoint), so that
+  ``P(row in result) = 1 - prod(1 - P(tuple_i exists))`` is exact.
+
+Each distinct row becomes one output tuple whose existence probability is
+carried by a phantom ``__exists`` dependency set — the model's uniform way
+of encoding "this tuple is present with probability p".  Inputs that fall
+outside the fragment raise :class:`UnsupportedOperationError` with the
+paper's caveat, rather than returning silently wrong probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import UnsupportedOperationError
+from ..pdf.discrete import DiscretePdf
+from .history import Lineage, historically_dependent
+from .model import (
+    DEFAULT_CONFIG,
+    ModelConfig,
+    ProbabilisticRelation,
+    ProbabilisticSchema,
+    ProbabilisticTuple,
+)
+from .threshold import probability_of
+
+__all__ = ["distinct", "EXISTS_ATTR"]
+
+#: Phantom attribute name carrying a distinct row's existence probability.
+EXISTS_ATTR = "__exists"
+
+
+def distinct(
+    rel: ProbabilisticRelation, config: ModelConfig = DEFAULT_CONFIG
+) -> ProbabilisticRelation:
+    """Bag-to-set conversion over certain-valued rows.
+
+    Returns a relation with the same certain columns and one tuple per
+    distinct value combination; existence probabilities are combined under
+    historical independence (verified, not assumed).
+    """
+    uncertain_visible = sorted(rel.schema.uncertain_attrs)
+    if uncertain_visible:
+        raise UnsupportedOperationError(
+            "duplicate elimination over uncertain attributes leads to complex "
+            "historical dependencies (paper Section III-B, future work); "
+            f"project away {uncertain_visible} or aggregate instead"
+        )
+
+    groups: Dict[Tuple, List[ProbabilisticTuple]] = {}
+    order: List[Tuple] = []
+    columns = rel.schema.visible_attrs
+    for t in rel.tuples:
+        key = tuple(t.certain.get(c) for c in columns)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(t)
+
+    out_schema = ProbabilisticSchema(rel.schema.columns, [{EXISTS_ATTR}])
+    out = rel.derived(out_schema)
+    for key in order:
+        members = groups[key]
+        lineages = [
+            frozenset().union(*t.lineage.values()) if t.lineage else frozenset()
+            for t in members
+        ]
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                if historically_dependent(lineages[i], lineages[j]):
+                    raise UnsupportedOperationError(
+                        "duplicate elimination over historically dependent "
+                        "tuples is not supported (paper Section III-B); "
+                        f"rows {members[i].tuple_id} and {members[j].tuple_id} "
+                        "share ancestors"
+                    )
+        absent = 1.0
+        for t in members:
+            absent *= 1.0 - probability_of(t, rel.store, None, config)
+        exists = 1.0 - absent
+        combined: Lineage = frozenset().union(*lineages)
+        out.add_tuple(
+            ProbabilisticTuple(
+                rel.store.new_tuple_id(),
+                dict(zip(columns, key)),
+                {frozenset({EXISTS_ATTR}): DiscretePdf({1.0: exists}, attr=EXISTS_ATTR)},
+                {frozenset({EXISTS_ATTR}): combined},
+            )
+        )
+    return out

@@ -1,0 +1,181 @@
+"""Histories: ancestor tracking for inter-tuple dependencies (Section II-C).
+
+Every dependency set in a freshly inserted tuple is its own *top-level
+ancestor* (Definition 2).  Any pdf derived from it by database operations
+carries a reference back to the base pdf; two pdfs whose ancestor sets
+intersect are *historically dependent* (Definition 3), and the ``product``
+primitive must reconstruct their joint from the ancestors rather than
+multiply marginals (the Figure 3 correctness example).
+
+:class:`HistoryStore` owns the base pdfs.  It reference-counts them so that
+deleting a base tuple keeps any still-referenced dependency set alive as a
+*phantom node* until its reference count drops to zero, exactly as the paper
+prescribes.
+
+Because relational operators may rename attributes (e.g. disambiguating a
+self-join), each history entry is an :class:`AncestorLink` — an ancestor
+reference plus the mapping from the ancestor's base attribute names to the
+derived pdf's current names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..errors import HistoryError
+from ..pdf.base import Pdf
+
+__all__ = ["AncestorRef", "AncestorLink", "Lineage", "HistoryStore", "fresh_lineage"]
+
+
+@dataclass(frozen=True)
+class AncestorRef:
+    """Identity of a base pdf: the inserting tuple and its dependency set."""
+
+    tuple_id: int
+    attrs: FrozenSet[str]
+
+    def __repr__(self) -> str:
+        return f"t{self.tuple_id}.{{{','.join(sorted(self.attrs))}}}"
+
+
+@dataclass(frozen=True)
+class AncestorLink:
+    """An ancestor reference plus the base-name -> current-name mapping."""
+
+    ref: AncestorRef
+    mapping: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def identity(cls, ref: AncestorRef) -> "AncestorLink":
+        return cls(ref, tuple(sorted((a, a) for a in ref.attrs)))
+
+    def mapping_dict(self) -> Dict[str, str]:
+        return dict(self.mapping)
+
+    def renamed(self, renames: Mapping[str, str]) -> "AncestorLink":
+        """Compose an attribute rename onto the link's mapping."""
+        new_mapping = tuple(
+            sorted((base, renames.get(current, current)) for base, current in self.mapping)
+        )
+        return AncestorLink(self.ref, new_mapping)
+
+    def __repr__(self) -> str:
+        renames = [f"{b}->{c}" for b, c in self.mapping if b != c]
+        suffix = f"[{','.join(renames)}]" if renames else ""
+        return f"{self.ref!r}{suffix}"
+
+
+#: The history Λ(t.S) of one dependency set: its set of ancestor links.
+Lineage = FrozenSet[AncestorLink]
+
+
+def fresh_lineage(ref: AncestorRef) -> Lineage:
+    """The lineage of a newly inserted base pdf: itself (Definition 2)."""
+    return frozenset({AncestorLink.identity(ref)})
+
+
+def rename_lineage(lineage: Lineage, renames: Mapping[str, str]) -> Lineage:
+    """Apply an attribute rename to every link of a lineage."""
+    return frozenset(link.renamed(renames) for link in lineage)
+
+
+def historically_dependent(a: Lineage, b: Lineage) -> bool:
+    """Definition 3: lineages sharing any ancestor *reference*."""
+    refs_a = {link.ref for link in a}
+    return any(link.ref in refs_a for link in b)
+
+
+@dataclass
+class _Entry:
+    pdf: Pdf
+    refcount: int = 0
+    #: False once the owning base tuple was deleted (phantom node).
+    alive: bool = True
+
+
+class HistoryStore:
+    """Registry of base pdfs with reference counting and phantom nodes."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[AncestorRef, _Entry] = {}
+        self._next_tuple_id = 0
+
+    # -- identity ---------------------------------------------------------
+
+    def new_tuple_id(self) -> int:
+        """A unique id for a newly inserted base tuple."""
+        self._next_tuple_id += 1
+        return self._next_tuple_id
+
+    # -- registration -------------------------------------------------------
+
+    def register_base(self, tuple_id: int, pdf: Pdf) -> AncestorRef:
+        """Record a base pdf at insert time and return its reference."""
+        ref = AncestorRef(tuple_id, frozenset(pdf.attrs))
+        if ref in self._entries:
+            raise HistoryError(f"ancestor {ref!r} is already registered")
+        self._entries[ref] = _Entry(pdf=pdf)
+        return ref
+
+    def __contains__(self, ref: AncestorRef) -> bool:
+        return ref in self._entries
+
+    def pdf(self, ref: AncestorRef) -> Pdf:
+        """The base pdf for ``ref`` (works for phantom nodes too)."""
+        entry = self._entries.get(ref)
+        if entry is None:
+            raise HistoryError(f"unknown or fully-released ancestor {ref!r}")
+        return entry.pdf
+
+    def is_phantom(self, ref: AncestorRef) -> bool:
+        entry = self._entries.get(ref)
+        if entry is None:
+            raise HistoryError(f"unknown or fully-released ancestor {ref!r}")
+        return not entry.alive
+
+    # -- reference counting -----------------------------------------------------
+
+    def acquire(self, lineage: Iterable[AncestorLink]) -> None:
+        """Increment refcounts for every ancestor a derived pdf points to."""
+        for link in lineage:
+            entry = self._entries.get(link.ref)
+            if entry is None:
+                raise HistoryError(f"cannot reference unknown ancestor {link.ref!r}")
+            entry.refcount += 1
+
+    def release(self, lineage: Iterable[AncestorLink]) -> None:
+        """Decrement refcounts; drop phantom nodes that reach zero."""
+        for link in lineage:
+            entry = self._entries.get(link.ref)
+            if entry is None:
+                raise HistoryError(f"cannot release unknown ancestor {link.ref!r}")
+            if entry.refcount <= 0:
+                raise HistoryError(f"refcount underflow for {link.ref!r}")
+            entry.refcount -= 1
+            if entry.refcount == 0 and not entry.alive:
+                del self._entries[link.ref]
+
+    def delete_base_tuple(self, tuple_id: int) -> None:
+        """Base-tuple deletion: referenced sets become phantom nodes.
+
+        Unreferenced dependency sets disappear immediately; referenced ones
+        are kept (phantom) until their reference count falls to zero.
+        """
+        for ref in [r for r in self._entries if r.tuple_id == tuple_id]:
+            entry = self._entries[ref]
+            if entry.refcount == 0:
+                del self._entries[ref]
+            else:
+                entry.alive = False
+
+    # -- introspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counts of live and phantom ancestor nodes (for tests/benchmarks)."""
+        phantom = sum(1 for e in self._entries.values() if not e.alive)
+        return {"total": len(self._entries), "phantom": phantom}

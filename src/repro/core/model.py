@@ -1,0 +1,383 @@
+"""The probabilistic data model: schemas, tuples, relations (Section II).
+
+A table ``T`` is described by a *probabilistic schema* ``(Σ_T, Δ_T)``:
+
+* ``Σ_T`` — the ordinary relational schema: named, typed columns,
+* ``Δ_T`` — the *dependency information*: a partition of the uncertain
+  attributes into **dependency sets** that are jointly distributed.
+  Attributes not mentioned in any set are certain.  Δ may contain *phantom
+  attributes* that are not in Σ — the residue of projections that must keep
+  correlation information alive (Section III-B).
+
+A :class:`ProbabilisticTuple` stores values for the certain attributes
+(``None`` meaning SQL NULL) and one pdf per dependency set — possibly a
+*partial* pdf whose missing mass is the probability the tuple does not
+exist, and possibly ``None`` meaning the attribute values are unknown but
+the tuple certainly exists (the two distinct readings of Table IV).
+
+Relations carry a shared :class:`~repro.core.history.HistoryStore`; every
+inserted dependency set is registered there as a base ancestor so that
+later operations can detect and repair historical dependence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from ..pdf.base import GridSpec, DEFAULT_GRID, Pdf
+from .history import AncestorRef, HistoryStore, Lineage, fresh_lineage
+
+__all__ = [
+    "DataType",
+    "Column",
+    "ProbabilisticSchema",
+    "ProbabilisticTuple",
+    "ProbabilisticRelation",
+    "ModelConfig",
+    "DEFAULT_CONFIG",
+]
+
+
+class DataType(enum.Enum):
+    """Column data types understood by the model and the engine."""
+
+    INT = "int"
+    REAL = "real"
+    BOOL = "bool"
+    TEXT = "text"
+
+    def __repr__(self) -> str:
+        return f"DataType.{self.name}"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a probabilistic schema."""
+
+    name: str
+    dtype: DataType = DataType.REAL
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.dtype.value}"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Knobs controlling how the relational operators evaluate pdfs.
+
+    ``use_history``
+        When False, the ``product`` primitive multiplies marginals even for
+        historically dependent pdfs.  This reproduces the *incorrect*
+        baseline of Figure 3 and the "w/o histories" series of Figure 6.
+    ``grid``
+        Resolution used whenever a symbolic pdf must collapse to grid form.
+    ``mass_epsilon``
+        Tuples whose joint mass falls below this are dropped from results.
+        The default matches the grid ``tail_mass``, so answers agree across
+        access paths (sequential scans vs. threshold-index scans) up to the
+        probability mass the index's support hull already clips.
+    ``eager_merge``
+        When True, join results eagerly collapse historically dependent
+        dependency sets into explicit joints (the eager strategy discussed
+        at the end of Section III-D); the default is lazy.
+    """
+
+    use_history: bool = True
+    grid: GridSpec = DEFAULT_GRID
+    mass_epsilon: float = 1e-6
+    eager_merge: bool = False
+
+
+DEFAULT_CONFIG = ModelConfig()
+
+
+DependencySpec = Iterable[Iterable[str]]
+
+
+class ProbabilisticSchema:
+    """``(Σ, Δ)``: relational schema plus dependency information.
+
+    ``columns`` define the *visible* attributes.  ``dependency`` is the
+    partition Δ; its sets may mention phantom attributes that no column
+    carries.  Every visible attribute in no dependency set is certain.
+    """
+
+    def __init__(self, columns: Sequence[Column], dependency: DependencySpec = ()):
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        dep_sets: List[FrozenSet[str]] = []
+        seen: set = set()
+        for group in dependency:
+            s = frozenset(str(a) for a in group)
+            if not s:
+                raise SchemaError("dependency sets must be non-empty")
+            if s & seen:
+                raise SchemaError(
+                    f"dependency sets must be disjoint; {sorted(s & seen)} repeated"
+                )
+            seen |= s
+            dep_sets.append(s)
+        self.dependency: Tuple[FrozenSet[str], ...] = tuple(dep_sets)
+        self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
+
+    # -- attribute classification ------------------------------------------------
+
+    @property
+    def visible_attrs(self) -> Tuple[str, ...]:
+        """Names of the user-visible columns, in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def uncertain_attrs(self) -> FrozenSet[str]:
+        """Visible attributes governed by some dependency set."""
+        in_deps = frozenset().union(*self.dependency) if self.dependency else frozenset()
+        return frozenset(self.visible_attrs) & in_deps
+
+    @property
+    def certain_attrs(self) -> Tuple[str, ...]:
+        """Visible attributes not governed by any dependency set."""
+        uncertain = self.uncertain_attrs
+        return tuple(n for n in self.visible_attrs if n not in uncertain)
+
+    @property
+    def phantom_attrs(self) -> FrozenSet[str]:
+        """Attributes kept only inside Δ (not user-visible)."""
+        in_deps = frozenset().union(*self.dependency) if self.dependency else frozenset()
+        return in_deps - frozenset(self.visible_attrs)
+
+    def column(self, name: str) -> Column:
+        if name not in self._by_name:
+            raise SchemaError(f"unknown column {name!r}; schema has {self.visible_attrs}")
+        return self._by_name[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def dependency_set_of(self, attr: str) -> Optional[FrozenSet[str]]:
+        """The dependency set governing ``attr``, or None when certain."""
+        for s in self.dependency:
+            if attr in s:
+                return s
+        return None
+
+    def is_uncertain(self, attr: str) -> bool:
+        return self.dependency_set_of(attr) is not None
+
+    # -- derivation helpers --------------------------------------------------------
+
+    def renamed(self, mapping: Mapping[str, str]) -> "ProbabilisticSchema":
+        """A copy with columns and dependency attributes renamed."""
+        return ProbabilisticSchema(
+            [Column(mapping.get(c.name, c.name), c.dtype) for c in self.columns],
+            [{mapping.get(a, a) for a in s} for s in self.dependency],
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(map(repr, self.columns))
+        deps = ", ".join("{" + ",".join(sorted(s)) + "}" for s in self.dependency)
+        return f"Schema([{cols}], Δ=[{deps}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProbabilisticSchema):
+            return NotImplemented
+        return self.columns == other.columns and set(self.dependency) == set(other.dependency)
+
+
+CertainValue = Union[int, float, bool, str, None]
+
+
+class ProbabilisticTuple:
+    """One row: certain values plus one (possibly partial) pdf per dependency set.
+
+    ``pdfs`` maps each dependency set of the schema to a
+    :class:`~repro.pdf.base.Pdf` over exactly those attributes, or ``None``
+    for NULL (values unknown, tuple exists — Table IV's first reading).
+    ``lineage`` maps each set to its history Λ (ancestor links).
+    """
+
+    __slots__ = ("tuple_id", "certain", "pdfs", "lineage")
+
+    def __init__(
+        self,
+        tuple_id: int,
+        certain: Mapping[str, CertainValue],
+        pdfs: Mapping[FrozenSet[str], Optional[Pdf]],
+        lineage: Mapping[FrozenSet[str], Lineage],
+    ):
+        self.tuple_id = tuple_id
+        self.certain: Dict[str, CertainValue] = dict(certain)
+        self.pdfs: Dict[FrozenSet[str], Optional[Pdf]] = dict(pdfs)
+        self.lineage: Dict[FrozenSet[str], Lineage] = dict(lineage)
+
+    def pdf_of_attr(self, attr: str) -> Optional[Pdf]:
+        """The pdf of the dependency set containing ``attr`` (None if NULL)."""
+        for s, pdf in self.pdfs.items():
+            if attr in s:
+                return pdf
+        raise SchemaError(f"attribute {attr!r} is not uncertain in this tuple")
+
+    def dependency_set_of(self, attr: str) -> Optional[FrozenSet[str]]:
+        for s in self.pdfs:
+            if attr in s:
+                return s
+        return None
+
+    def __repr__(self) -> str:
+        parts = [f"{k}={v!r}" for k, v in self.certain.items()]
+        for s, pdf in sorted(self.pdfs.items(), key=lambda kv: sorted(kv[0])):
+            parts.append("{" + ",".join(sorted(s)) + "}=" + repr(pdf))
+        return f"Tuple#{self.tuple_id}(" + ", ".join(parts) + ")"
+
+
+def build_base_tuple(
+    schema: ProbabilisticSchema,
+    store: HistoryStore,
+    certain: Optional[Mapping[str, CertainValue]] = None,
+    uncertain: Optional[Mapping[Union[str, Tuple[str, ...]], Optional[Pdf]]] = None,
+) -> ProbabilisticTuple:
+    """Build and register a base tuple (shared by the model and the engine).
+
+    Validates the values against the schema, renames pdf attributes onto the
+    dependency-set names, registers every pdf as its own top-level ancestor
+    in ``store`` (Definition 2), and acquires the references.
+    """
+    certain = dict(certain or {})
+    uncertain = dict(uncertain or {})
+    for name in certain:
+        if not schema.has_column(name):
+            raise SchemaError(f"unknown certain attribute {name!r}")
+        if schema.is_uncertain(name):
+            raise SchemaError(f"attribute {name!r} is uncertain; pass it via `uncertain`")
+    certain_values: Dict[str, CertainValue] = {
+        n: certain.get(n) for n in schema.certain_attrs
+    }
+
+    pdfs: Dict[FrozenSet[str], Optional[Pdf]] = {}
+    for key, pdf in uncertain.items():
+        attrs = (key,) if isinstance(key, str) else tuple(key)
+        target = frozenset(attrs)
+        if target not in schema.dependency:
+            raise SchemaError(f"{sorted(target)} is not a dependency set of {schema!r}")
+        if pdf is None:
+            pdfs[target] = None
+            continue
+        if pdf.arity != len(attrs):
+            raise SchemaError(
+                f"pdf over {pdf.attrs} cannot fill dependency set {sorted(target)}"
+            )
+        pdfs[target] = pdf.with_attrs(attrs)
+    for dep in schema.dependency:
+        pdfs.setdefault(dep, None)
+
+    tuple_id = store.new_tuple_id()
+    lineage: Dict[FrozenSet[str], Lineage] = {}
+    for dep, pdf in pdfs.items():
+        if pdf is None:
+            lineage[dep] = frozenset()
+            continue
+        ref = store.register_base(tuple_id, pdf)
+        lin = fresh_lineage(ref)
+        store.acquire(lin)
+        lineage[dep] = lin
+    return ProbabilisticTuple(tuple_id, certain_values, pdfs, lineage)
+
+
+class ProbabilisticRelation:
+    """A probabilistic table: schema, tuples, and a shared history store."""
+
+    def __init__(
+        self,
+        schema: ProbabilisticSchema,
+        store: Optional[HistoryStore] = None,
+        name: str = "",
+    ):
+        self.schema = schema
+        self.store = store if store is not None else HistoryStore()
+        self.name = name
+        self.tuples: List[ProbabilisticTuple] = []
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(
+        self,
+        certain: Optional[Mapping[str, CertainValue]] = None,
+        uncertain: Optional[Mapping[Union[str, Tuple[str, ...]], Optional[Pdf]]] = None,
+    ) -> ProbabilisticTuple:
+        """Insert a base tuple.
+
+        ``certain`` maps certain attribute names to values (missing means
+        NULL).  ``uncertain`` maps an attribute name — or an ordered tuple
+        of names for a joint dependency set — to a pdf whose attributes are
+        renamed positionally to those names; ``None`` stores a NULL pdf.
+        Every pdf is registered in the history store as its own top-level
+        ancestor (Definition 2).
+        """
+        t = build_base_tuple(self.schema, self.store, certain, uncertain)
+        self.tuples.append(t)
+        return t
+
+    def delete(self, t: ProbabilisticTuple) -> None:
+        """Delete a base tuple; referenced pdfs survive as phantom nodes."""
+        self.tuples.remove(t)
+        for lin in t.lineage.values():
+            if lin:
+                self.store.release(lin)
+        self.store.delete_base_tuple(t.tuple_id)
+
+    # -- construction of derived relations ----------------------------------------
+
+    def derived(self, schema: ProbabilisticSchema, name: str = "") -> "ProbabilisticRelation":
+        """An empty relation sharing this relation's history store."""
+        return ProbabilisticRelation(schema, store=self.store, name=name or self.name)
+
+    def add_tuple(self, t: ProbabilisticTuple, acquire: bool = True) -> None:
+        """Append a derived tuple, acquiring references to its ancestors."""
+        if acquire:
+            for lin in t.lineage.values():
+                if lin:
+                    self.store.acquire(lin)
+        self.tuples.append(t)
+
+    def drop(self) -> None:
+        """Release every tuple's ancestor references and clear the relation."""
+        for t in self.tuples:
+            for lin in t.lineage.values():
+                if lin:
+                    self.store.release(lin)
+        self.tuples.clear()
+
+    # -- inspection -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Relation{label}({len(self.tuples)} tuples, {self.schema!r})"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        header = list(self.schema.visible_attrs)
+        lines = [" | ".join(header)]
+        lines.append("-+-".join("-" * len(h) for h in header))
+        for t in self.tuples[:limit]:
+            cells = []
+            for attr in header:
+                if self.schema.is_uncertain(attr):
+                    pdf = t.pdf_of_attr(attr)
+                    cells.append("NULL" if pdf is None else repr(pdf))
+                else:
+                    value = t.certain.get(attr)
+                    cells.append("NULL" if value is None else str(value))
+            lines.append(" | ".join(cells))
+        if len(self.tuples) > limit:
+            lines.append(f"... ({len(self.tuples) - limit} more)")
+        return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Possible Worlds Semantics, executed literally (Section I-A).
+
+This module is the *reference implementation* the efficient operators are
+tested against: it expands a (small, discrete) probabilistic database into
+every possible world, runs the query over each world with ordinary certain
+semantics, and aggregates the per-world results.  Figure 1 of the paper as
+code.
+
+Only *base* relations can be expanded — relations whose dependency sets are
+their own ancestors (fresh inserts), with exactly representable discrete
+pdfs.  That is precisely the right shape for a specification: a query
+pipeline evaluated by the model operators must agree with the same pipeline
+evaluated world-by-world from the base data.
+
+The comparison currency is the **expected multiplicity** of each distinct
+result row: sum over worlds of P(world) x (number of copies of the row in
+that world's result).  The model side computes the same quantity from the
+result tuples' joint pdfs.  Exact agreement on every row is what Theorems 1
+and 2 promise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import UnsupportedOperationError
+from ..pdf.joint import as_joint_discrete
+from .history import AncestorLink
+from .model import DEFAULT_CONFIG, ModelConfig, ProbabilisticRelation
+from .operations import product
+from .predicates import Predicate
+
+__all__ = [
+    "Row",
+    "PossibleWorld",
+    "enumerate_worlds",
+    "world_select",
+    "world_project",
+    "world_join",
+    "expected_multiplicities",
+    "model_multiplicities",
+    "multiplicities_match",
+]
+
+Row = Dict[str, float]
+WorldDb = Dict[str, List[Row]]
+
+
+@dataclass
+class PossibleWorld:
+    """One fully-certain database instance and its probability."""
+
+    relations: WorldDb
+    probability: float
+
+
+def _tuple_outcomes(rel: ProbabilisticRelation, t) -> List[List[Tuple[float, Optional[Row]]]]:
+    """Per dependency set: [(prob, value assignment or None for absent)]."""
+    outcome_lists: List[List[Tuple[float, Optional[Row]]]] = []
+    for dep, pdf in t.pdfs.items():
+        lineage = t.lineage.get(dep, frozenset())
+        expected = frozenset({AncestorLink.identity(link.ref) for link in lineage})
+        if pdf is not None and (len(lineage) != 1 or lineage != expected):
+            raise UnsupportedOperationError(
+                "possible-worlds expansion needs base relations whose "
+                "dependency sets are their own ancestors"
+            )
+        if pdf is None:
+            raise UnsupportedOperationError(
+                "possible-worlds expansion does not support NULL pdfs"
+            )
+        discrete = as_joint_discrete(pdf)
+        if discrete is None:
+            raise UnsupportedOperationError(
+                f"dependency set {sorted(dep)} is not exactly discrete; "
+                "possible-worlds expansion needs discrete base data"
+            )
+        outcomes: List[Tuple[float, Optional[Row]]] = [
+            (p, dict(zip(discrete.attrs, key))) for key, p in discrete.items() if p > 0
+        ]
+        missing = 1.0 - discrete.mass()
+        if missing > 1e-12:
+            outcomes.append((missing, None))
+        outcome_lists.append(outcomes)
+    return outcome_lists
+
+
+def enumerate_worlds(
+    db: Mapping[str, ProbabilisticRelation]
+) -> Iterator[PossibleWorld]:
+    """Expand a database of base relations into all possible worlds.
+
+    Every (tuple, dependency set) pair is an independent probabilistic
+    event; a tuple appears in a world only when *all* its dependency sets
+    drew a value (a partial pdf's missing mass is the "absent" outcome).
+    """
+    choice_points: List[List[Tuple[float, Optional[Row]]]] = []
+    # (relation name, tuple index, certain values, [choice indices])
+    layout: List[Tuple[str, int, Dict[str, object], List[int]]] = []
+    for name, rel in db.items():
+        for t_index, t in enumerate(rel.tuples):
+            indices = []
+            for outcomes in _tuple_outcomes(rel, t):
+                indices.append(len(choice_points))
+                choice_points.append(outcomes)
+            layout.append((name, t_index, dict(t.certain), indices))
+
+    for combo in itertools.product(*choice_points):
+        probability = 1.0
+        for prob, _ in combo:
+            probability *= prob
+        if probability <= 0.0:
+            continue
+        world: WorldDb = {name: [] for name in db}
+        for name, _t_index, certain, indices in layout:
+            row: Row = dict(certain)  # type: ignore[arg-type]
+            present = True
+            for idx in indices:
+                _, assignment = combo[idx]
+                if assignment is None:
+                    present = False
+                    break
+                row.update(assignment)
+            if present:
+                world[name].append(row)
+        yield PossibleWorld(world, probability)
+
+
+# ---------------------------------------------------------------------------
+# Certain relational algebra over world rows
+# ---------------------------------------------------------------------------
+
+
+def world_select(rows: Iterable[Row], predicate: Predicate) -> List[Row]:
+    """σ over certain rows (the per-world query of Figure 1)."""
+    return [r for r in rows if predicate.evaluate(r) is True]
+
+
+def world_project(rows: Iterable[Row], attrs: Iterable[str]) -> List[Row]:
+    """Π over certain rows (bag semantics, no duplicate elimination)."""
+    names = list(attrs)
+    return [{a: r[a] for a in names} for r in rows]
+
+
+def world_join(
+    left: Iterable[Row], right: Iterable[Row], predicate: Predicate
+) -> List[Row]:
+    """⋈ over certain rows; attribute names must already be disjoint."""
+    out = []
+    for l, r in itertools.product(left, right):
+        combined = {**l, **r}
+        if predicate.evaluate(combined) is True:
+            out.append(combined)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Result comparison: expected multiplicities
+# ---------------------------------------------------------------------------
+
+RowKey = FrozenSet[Tuple[str, float]]
+
+
+def _row_key(row: Row) -> RowKey:
+    return frozenset((k, float(v)) for k, v in row.items())
+
+
+def expected_multiplicities(
+    db: Mapping[str, ProbabilisticRelation],
+    query: Callable[[WorldDb], List[Row]],
+) -> Dict[RowKey, float]:
+    """E[multiplicity of each result row] by brute-force world expansion."""
+    acc: Dict[RowKey, float] = {}
+    for world in enumerate_worlds(db):
+        for row in query(world.relations):
+            key = _row_key(row)
+            acc[key] = acc.get(key, 0.0) + world.probability
+    return {k: v for k, v in acc.items() if v > 1e-15}
+
+
+def model_multiplicities(
+    rel: ProbabilisticRelation, config: ModelConfig = DEFAULT_CONFIG
+) -> Dict[RowKey, float]:
+    """E[multiplicity of each result row] from the model's result tuples.
+
+    For each result tuple the history-aware joint over all its dependency
+    sets is built, marginalised to the visible uncertain attributes, and its
+    entries — combined with the tuple's certain values — contribute their
+    probability as multiplicity.
+    """
+    visible = list(rel.schema.visible_attrs)
+    acc: Dict[RowKey, float] = {}
+    for t in rel.tuples:
+        inputs = []
+        for dep, pdf in t.pdfs.items():
+            if pdf is None:
+                raise UnsupportedOperationError("NULL pdfs have no multiplicity")
+            inputs.append((pdf, t.lineage.get(dep, frozenset())))
+        certain_part = {a: t.certain[a] for a in visible if a in t.certain}
+        if not inputs:
+            key = _row_key(certain_part)  # fully certain tuple
+            acc[key] = acc.get(key, 0.0) + 1.0
+            continue
+        joint, _ = product(inputs, rel.store, config)
+        visible_uncertain = [a for a in joint.attrs if a in visible]
+        if visible_uncertain:
+            marginal = joint.marginalize(visible_uncertain)
+        else:
+            marginal = joint  # everything phantom: only the mass matters
+        discrete = as_joint_discrete(marginal)
+        if discrete is None:
+            raise UnsupportedOperationError(
+                "model_multiplicities needs discrete result pdfs"
+            )
+        for key_vals, p in discrete.items():
+            if p <= 0:
+                continue
+            row = dict(certain_part)
+            if visible_uncertain:
+                row.update(dict(zip(discrete.attrs, key_vals)))
+            key = _row_key(row)
+            acc[key] = acc.get(key, 0.0) + p
+    return {k: v for k, v in acc.items() if v > 1e-15}
+
+
+def multiplicities_match(
+    a: Mapping[RowKey, float], b: Mapping[RowKey, float], tol: float = 1e-9
+) -> bool:
+    """True when two multiplicity maps agree within ``tol`` on every row."""
+    keys = set(a) | set(b)
+    return all(abs(a.get(k, 0.0) - b.get(k, 0.0)) <= tol for k in keys)

@@ -1,0 +1,158 @@
+"""The selection operator σ (Section III-C).
+
+Three cases, exactly as the paper lays them out:
+
+* **Case 1** — the predicate touches only certain attributes: ordinary
+  filtering; pdfs and histories are copied over.
+* **Case 2(a)** — dependency sets disjoint from the predicate attributes:
+  copied over unchanged.
+* **Case 2(b)** — dependency sets intersecting the predicate attributes are
+  merged by the closure Ω (Definition 4), their joint pdf is built with the
+  history-aware ``product`` primitive (certain attributes enter as identity
+  point-mass pdfs), and the joint is floored over the region where the
+  predicate is false.  Tuples whose joint mass drops to zero vanish, which
+  is what makes the operator consistent with possible worlds semantics
+  (Theorem 1).
+
+The per-tuple work lives in :class:`SelectionPlan` so that the streaming
+executor in :mod:`repro.engine` can apply selection tuple-at-a-time; the
+relation-level :func:`select` is a thin loop over the plan.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import QueryError
+from ..pdf.base import Pdf
+from ..pdf.discrete import CategoricalPdf, DiscretePdf, label_code
+from .history import HistoryStore, Lineage
+from .model import (
+    DEFAULT_CONFIG,
+    ModelConfig,
+    ProbabilisticRelation,
+    ProbabilisticSchema,
+    ProbabilisticTuple,
+)
+from .operations import product
+from .predicates import Predicate
+
+__all__ = ["select", "closure", "SelectionPlan"]
+
+
+def closure(
+    sets: Iterable[FrozenSet[str]], new_set: FrozenSet[str]
+) -> Tuple[Tuple[FrozenSet[str], ...], FrozenSet[str]]:
+    """Definition 4: merge the connected components of ``sets ∪ {new_set}``.
+
+    Returns ``(untouched_sets, merged_set)`` where ``merged_set`` is the
+    union of ``new_set`` with every input set it (transitively) intersects.
+    Because the input sets are pairwise disjoint, one merge pass suffices.
+    """
+    untouched: List[FrozenSet[str]] = []
+    merged: Set[str] = set(new_set)
+    for s in sets:
+        if s & merged:
+            merged |= s
+        else:
+            untouched.append(s)
+    return tuple(untouched), frozenset(merged)
+
+
+def _point_mass(attr: str, value: object) -> Pdf:
+    """The identity pdf f0 over a certain attribute (Case 2(b))."""
+    if isinstance(value, str):
+        return CategoricalPdf({value: 1.0}, attr=attr)
+    if isinstance(value, bool):
+        return DiscretePdf({1.0 if value else 0.0: 1.0}, attr=attr)
+    return DiscretePdf({float(value): 1.0}, attr=attr)  # type: ignore[arg-type]
+
+
+class SelectionPlan:
+    """Precomputed selection over one input schema.
+
+    Splits the schema's dependency sets into touched and untouched parts,
+    derives the output schema, and exposes :meth:`apply` which maps one
+    input tuple to its selected output tuple (or ``None`` when the tuple is
+    filtered out / fully floored).
+    """
+
+    def __init__(
+        self,
+        schema: ProbabilisticSchema,
+        predicate: Predicate,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        for attr in predicate.attrs():
+            if not schema.has_column(attr):
+                raise QueryError(
+                    f"predicate attribute {attr!r} is not a visible column of {schema!r}"
+                )
+        self.predicate = predicate
+        self.config = config
+        pred_attrs = frozenset(predicate.attrs())
+        self.certain_only = not any(schema.is_uncertain(a) for a in pred_attrs)
+
+        if self.certain_only:
+            self.output_schema = schema
+            return
+
+        self._untouched, self._merged_set = closure(schema.dependency, pred_attrs)
+        self._touched = [s for s in schema.dependency if s & self._merged_set]
+        self._merged_certain = [
+            a for a in sorted(self._merged_set) if not schema.is_uncertain(a)
+        ]
+        self.output_schema = ProbabilisticSchema(
+            schema.columns, list(self._untouched) + [self._merged_set]
+        )
+        self._region = predicate.to_region(
+            resolver=lambda attr, label: label_code(label)
+        )
+
+    def apply(
+        self, t: ProbabilisticTuple, store: HistoryStore
+    ) -> Optional[ProbabilisticTuple]:
+        """Select one tuple; ``None`` means it does not survive."""
+        if self.certain_only:
+            if self.predicate.evaluate(t.certain) is True:
+                return ProbabilisticTuple(t.tuple_id, t.certain, t.pdfs, t.lineage)
+            return None
+
+        inputs: List[Tuple[Pdf, Lineage]] = []
+        for s in self._touched:
+            pdf = t.pdfs[s]
+            if pdf is None:
+                return None  # NULL pdf: predicate unknown, tuple excluded
+            inputs.append((pdf, t.lineage[s]))
+        for attr in self._merged_certain:
+            value = t.certain.get(attr)
+            if value is None:
+                return None
+            inputs.append((_point_mass(attr, value), frozenset()))
+
+        joint, lineage = product(inputs, store, self.config)
+        floored = joint.restrict(self._region)
+        if floored.mass() <= self.config.mass_epsilon:
+            return None
+
+        new_certain = {k: v for k, v in t.certain.items() if k not in self._merged_set}
+        new_pdfs = {s: t.pdfs[s] for s in self._untouched}
+        new_lineage = {s: t.lineage[s] for s in self._untouched}
+        new_pdfs[self._merged_set] = floored
+        new_lineage[self._merged_set] = lineage
+        return ProbabilisticTuple(t.tuple_id, new_certain, new_pdfs, new_lineage)
+
+
+def select(
+    rel: ProbabilisticRelation,
+    predicate: Predicate,
+    config: ModelConfig = DEFAULT_CONFIG,
+) -> ProbabilisticRelation:
+    """σ_predicate(rel) under possible worlds semantics."""
+    plan = SelectionPlan(rel.schema, predicate, config)
+    out = rel.derived(plan.output_schema)
+    for t in rel.tuples:
+        result = plan.apply(t, rel.store)
+        if result is not None:
+            out.add_tuple(result)
+    return out

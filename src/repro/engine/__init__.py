@@ -1,0 +1,13 @@
+"""The DBMS substrate: storage, indexes, executor, SQL front end.
+
+This package stands in for the PostgreSQL instance the paper's Orion
+extension lived in: probabilistic tuples serialized onto slotted pages
+behind an LRU buffer pool with I/O accounting, secondary indexes, a
+Volcano-style executor, and a SQL dialect with uncertainty extensions.
+"""
+
+from .catalog import Catalog
+from .database import Database, QueryResult
+from .table import Table
+
+__all__ = ["Database", "QueryResult", "Catalog", "Table"]

@@ -1,0 +1,442 @@
+"""The user-facing Database facade: SQL in, probabilistic rows out.
+
+This plays the role PostgreSQL+Orion played for the paper: a complete,
+queryable system with uncertainty as a first-class citizen.
+
+::
+
+    db = Database()
+    db.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)")
+    db.execute("INSERT INTO readings VALUES (1, GAUSSIAN(20, 5))")
+    result = db.execute("SELECT rid FROM readings WHERE value > 18 AND value < 22")
+    for row in result.to_dicts():
+        print(row)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.model import (
+    DEFAULT_CONFIG,
+    ModelConfig,
+    ProbabilisticSchema,
+    ProbabilisticTuple,
+)
+from ..core.threshold import probability_of
+from ..errors import QueryError, SqlBindError
+from ..pdf.base import Pdf
+from .catalog import Catalog
+from .sql import ast
+from .sql.parser import parse
+from .sql.planner import Binder, build_schema, convert_predicate, plan_select
+from .storage.disk import Disk
+from .table import Table
+
+__all__ = ["Database", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one statement.
+
+    ``rows`` hold full probabilistic tuples; ``columns`` is the visible
+    output schema.  :meth:`to_dicts` flattens to plain dictionaries with
+    pdf objects for uncertain attributes.
+    """
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[ProbabilisticTuple] = field(default_factory=list)
+    schema: Optional[ProbabilisticSchema] = None
+    rowcount: int = 0
+    message: str = "OK"
+    plan_text: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Union[object, Pdf, None]]]:
+        """Rows as dicts: certain values, pdf objects, or None for NULL."""
+        if self.schema is None:
+            return []
+        out = []
+        for t in self.rows:
+            row: Dict[str, Union[object, Pdf, None]] = {}
+            for attr in self.schema.visible_attrs:
+                if self.schema.is_uncertain(attr):
+                    row[attr] = t.pdf_of_attr(attr)
+                else:
+                    row[attr] = t.certain.get(attr)
+            out.append(row)
+        return out
+
+    def provenance(self, row: ProbabilisticTuple) -> Dict[str, List[str]]:
+        """Human-readable lineage of one result row.
+
+        Maps each dependency set (rendered as ``{a,b}``) to the base pdfs it
+        derives from — ``t<id>.{attrs}`` ancestor references, with any
+        renames shown as ``base->current``.  Empty lists mark point-mass or
+        aggregate-produced sets with no ancestors.
+        """
+        out: Dict[str, List[str]] = {}
+        for dep in sorted(row.pdfs, key=lambda d: tuple(sorted(d))):
+            key = "{" + ",".join(sorted(dep)) + "}"
+            links = sorted(
+                row.lineage.get(dep, frozenset()),
+                key=lambda l: (l.ref.tuple_id, tuple(sorted(l.ref.attrs))),
+            )
+            out[key] = [repr(link) for link in links]
+        return out
+
+    def scalar(self):
+        """The single value of a 1x1 result (certain value or pdf)."""
+        if len(self.rows) != 1 or self.schema is None or len(self.columns) != 1:
+            raise QueryError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.to_dicts()[0][self.columns[0]]
+
+    def pretty(self, limit: int = 20) -> str:
+        """Fixed-width rendering of the result."""
+        if self.schema is None:
+            return self.message
+        header = list(self.columns)
+        cells = [header]
+        for t in self.rows[:limit]:
+            row = []
+            for attr in header:
+                if self.schema.is_uncertain(attr):
+                    pdf = t.pdf_of_attr(attr)
+                    row.append("NULL" if pdf is None else repr(pdf))
+                else:
+                    value = t.certain.get(attr)
+                    row.append("NULL" if value is None else str(value))
+            cells.append(row)
+        widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+        lines = [" | ".join(h.ljust(w) for h, w in zip(cells[0], widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+class Database:
+    """A complete probabilistic database instance."""
+
+    def __init__(
+        self,
+        disk: Optional[Disk] = None,
+        buffer_capacity: int = 256,
+        config: ModelConfig = DEFAULT_CONFIG,
+        store_lineage: bool = True,
+    ):
+        self.catalog = Catalog(
+            disk=disk,
+            buffer_capacity=buffer_capacity,
+            config=config,
+            store_lineage=store_lineage,
+        )
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def config(self) -> ModelConfig:
+        return self.catalog.config
+
+    @property
+    def io_counters(self):
+        """Physical I/O counters of the underlying disk."""
+        return self.catalog.pool.disk.counters
+
+    @property
+    def buffer_stats(self):
+        return self.catalog.pool.stats
+
+    def reset_io_stats(self) -> None:
+        self.catalog.pool.reset_stats()
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get_table(name)
+
+    # -- statement execution ------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse, plan, and run one SQL statement."""
+        stmt = parse(sql)
+        if isinstance(stmt, ast.CreateTable):
+            self.catalog.create_table(stmt.name, build_schema(stmt))
+            return QueryResult(message=f"CREATE TABLE {stmt.name}")
+        if isinstance(stmt, ast.DropTable):
+            self.catalog.drop_table(stmt.name)
+            return QueryResult(message=f"DROP TABLE {stmt.name}")
+        if isinstance(stmt, ast.CreateIndex):
+            table = self.catalog.get_table(stmt.table)
+            if stmt.kind == "pti":
+                table.create_pti_index(stmt.column)
+            elif stmt.kind == "spatial":
+                table.create_spatial_index(tuple(stmt.columns))
+            else:
+                table.create_btree_index(stmt.column)
+            cols = ", ".join(stmt.columns)
+            return QueryResult(message=f"CREATE INDEX ON {stmt.table}({cols})")
+        if isinstance(stmt, ast.CreateTableAs):
+            count = self._execute_create_as(stmt)
+            return QueryResult(
+                rowcount=count, message=f"CREATE TABLE {stmt.name} ({count} rows)"
+            )
+        if isinstance(stmt, ast.Insert):
+            count = self._execute_insert(stmt)
+            return QueryResult(rowcount=count, message=f"INSERT {count}")
+        if isinstance(stmt, ast.Delete):
+            count = self._execute_delete(stmt)
+            return QueryResult(rowcount=count, message=f"DELETE {count}")
+        if isinstance(stmt, ast.Update):
+            count = self._execute_update(stmt)
+            return QueryResult(rowcount=count, message=f"UPDATE {count}")
+        if isinstance(stmt, ast.Explain):
+            plan = plan_select(self.catalog, stmt.query)
+            return QueryResult(message="EXPLAIN", plan_text=plan.explain())
+        if isinstance(stmt, ast.Select):
+            plan = plan_select(self.catalog, stmt)
+            rows = list(plan)
+            schema = plan.output_schema
+            return QueryResult(
+                columns=list(schema.visible_attrs),
+                rows=rows,
+                schema=schema,
+                rowcount=len(rows),
+                message=f"SELECT {len(rows)}",
+                plan_text=plan.explain(),
+            )
+        raise QueryError(f"unsupported statement {type(stmt).__name__}")
+
+    # -- INSERT -----------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.Insert) -> int:
+        table = self.catalog.get_table(stmt.table)
+        schema = table.schema
+        for row in stmt.rows:
+            certain, uncertain = self._bind_insert_row(schema, stmt.columns, row)
+            table.insert(certain=certain, uncertain=uncertain)
+        return len(stmt.rows)
+
+    def _bind_insert_row(
+        self,
+        schema: ProbabilisticSchema,
+        columns: Optional[List[str]],
+        row: Sequence[ast.ValueExpr],
+    ):
+        """Pair positional/named literals with columns and dependency sets.
+
+        Positional rows walk the declared columns; an uncertain column that
+        is the *first* member (in declaration order) of its dependency set
+        consumes one pdf literal covering the whole set, and the set's other
+        columns consume nothing.
+        """
+        certain: Dict[str, object] = {}
+        uncertain: Dict[object, Optional[Pdf]] = {}
+
+        def dep_columns(dep: frozenset) -> List[str]:
+            return [c for c in schema.visible_attrs if c in dep]
+
+        if columns is None:
+            consumed: set = set()
+            values = list(row)
+            for name in schema.visible_attrs:
+                if name in consumed:
+                    continue
+                dep = schema.dependency_set_of(name)
+                if not values:
+                    raise QueryError(f"INSERT is missing a value for column {name!r}")
+                expr = values.pop(0)
+                if dep is None:
+                    certain[name] = self._certain_value(expr, name)
+                else:
+                    ordered = dep_columns(dep)
+                    consumed.update(ordered)
+                    uncertain[tuple(ordered)] = self._pdf_value(expr, name, len(ordered))
+            if values:
+                raise QueryError(f"INSERT has {len(values)} extra value(s)")
+        else:
+            if len(columns) != len(row):
+                raise QueryError(
+                    f"INSERT names {len(columns)} columns but supplies {len(row)} values"
+                )
+            for name, expr in zip(columns, row):
+                if not schema.has_column(name):
+                    raise SqlBindError(f"unknown column {name!r}")
+                dep = schema.dependency_set_of(name)
+                if dep is None:
+                    certain[name] = self._certain_value(expr, name)
+                else:
+                    ordered = dep_columns(dep)
+                    if ordered[0] != name:
+                        raise QueryError(
+                            f"supply the joint pdf for {sorted(dep)} via its first "
+                            f"column {ordered[0]!r}"
+                        )
+                    uncertain[tuple(ordered)] = self._pdf_value(expr, name, len(ordered))
+        return certain, uncertain
+
+    def _certain_value(self, expr: ast.ValueExpr, name: str):
+        if isinstance(expr, ast.PdfLiteral):
+            raise QueryError(
+                f"column {name!r} is certain; declare it UNCERTAIN to store a pdf"
+            )
+        assert isinstance(expr, ast.LiteralExpr)
+        return expr.value
+
+    def _pdf_value(self, expr: ast.ValueExpr, name: str, arity: int) -> Optional[Pdf]:
+        if isinstance(expr, ast.LiteralExpr):
+            if expr.value is None:
+                return None
+            if isinstance(expr.value, str):
+                from ..pdf.discrete import CategoricalPdf
+
+                return CategoricalPdf({expr.value: 1.0})
+            if isinstance(expr.value, bool):
+                from ..pdf.discrete import DiscretePdf
+
+                return DiscretePdf({1.0 if expr.value else 0.0: 1.0})
+            from ..pdf.discrete import DiscretePdf
+
+            return DiscretePdf({float(expr.value): 1.0})
+        assert isinstance(expr, ast.PdfLiteral)
+        pdf = expr.pdf
+        if pdf is not None and pdf.arity != arity:
+            raise QueryError(
+                f"pdf literal for {name!r} has arity {pdf.arity}, "
+                f"but its dependency set has {arity} columns"
+            )
+        return pdf
+
+    # -- DELETE -------------------------------------------------------------------------
+
+    def _execute_delete(self, stmt: ast.Delete) -> int:
+        table = self.catalog.get_table(stmt.table)
+        predicate = None
+        if stmt.where is not None:
+            binder = Binder(self.catalog, [ast.TableRef(stmt.table)])
+            predicate = convert_predicate(binder, stmt.where)
+            for attr in predicate.attrs():
+                if table.schema.is_uncertain(attr):
+                    raise QueryError(
+                        "DELETE predicates must use certain columns only "
+                        f"({attr!r} is uncertain)"
+                    )
+        doomed = []
+        for rid, t in table.scan():
+            if predicate is None or predicate.evaluate(t.certain) is True:
+                doomed.append(rid)
+        for rid in doomed:
+            table.delete(rid)
+        return len(doomed)
+
+    # -- UPDATE -------------------------------------------------------------------------
+
+    def _execute_update(self, stmt: ast.Update) -> int:
+        """UPDATE with certain-only predicates.
+
+        Updated tuples are re-inserted as *new base tuples*: an updated pdf
+        is fresh evidence, so it becomes its own top-level ancestor, and the
+        old pdfs are released (turning phantom if derived data references
+        them).  Indexes are maintained through the delete/insert pair.
+        """
+        table = self.catalog.get_table(stmt.table)
+        schema = table.schema
+        predicate = None
+        if stmt.where is not None:
+            binder = Binder(self.catalog, [ast.TableRef(stmt.table)])
+            predicate = convert_predicate(binder, stmt.where)
+            for attr in predicate.attrs():
+                if schema.is_uncertain(attr):
+                    raise QueryError(
+                        "UPDATE predicates must use certain columns only "
+                        f"({attr!r} is uncertain)"
+                    )
+        for name, _ in stmt.assignments:
+            if not schema.has_column(name):
+                raise SqlBindError(f"unknown column {name!r}")
+
+        matches = []
+        for rid, t in table.scan():
+            if predicate is None or predicate.evaluate(t.certain) is True:
+                matches.append((rid, t))
+
+        def dep_columns(dep: frozenset) -> list:
+            return [c for c in schema.visible_attrs if c in dep]
+
+        for rid, t in matches:
+            certain = {
+                k: v for k, v in t.certain.items()
+            }
+            uncertain: Dict[object, Optional[Pdf]] = {}
+            # Carry over untouched pdfs (re-registered as fresh ancestors;
+            # see the docstring above for why an UPDATE severs history).
+            assigned = {name for name, _ in stmt.assignments}
+            for dep, pdf in t.pdfs.items():
+                if dep & assigned:
+                    continue
+                ordered = dep_columns(dep)
+                if ordered:
+                    uncertain[tuple(ordered)] = pdf
+            for name, expr in stmt.assignments:
+                dep = schema.dependency_set_of(name)
+                if dep is None:
+                    certain[name] = self._certain_value(expr, name)
+                else:
+                    ordered = dep_columns(dep)
+                    if ordered[0] != name:
+                        raise QueryError(
+                            f"assign the joint pdf for {sorted(dep)} via its "
+                            f"first column {ordered[0]!r}"
+                        )
+                    uncertain[tuple(ordered)] = self._pdf_value(
+                        expr, name, len(ordered)
+                    )
+            table.delete(rid)
+            table.insert(certain=certain, uncertain=uncertain)
+        return len(matches)
+
+    # -- CREATE TABLE AS -----------------------------------------------------------------
+
+    def _execute_create_as(self, stmt: ast.CreateTableAs) -> int:
+        """Materialise a query result as a stored table.
+
+        Result tuples keep their lineage, so the new table's rows remain
+        historically linked to their base data — further queries over the
+        materialised table stay PWS-consistent.
+        """
+        plan = plan_select(self.catalog, stmt.query)
+        rows = list(plan)
+        table = self.catalog.create_table(stmt.name, plan.output_schema)
+        for t in rows:
+            table.insert_tuple(t)
+        return len(rows)
+
+    # -- persistence -----------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Snapshot the whole database (catalog, pages, histories) to a file."""
+        from .snapshot import save_database
+
+        save_database(self, path)
+
+    @classmethod
+    def open(cls, path: str, buffer_capacity: int = 256, config=None) -> "Database":
+        """Reopen a database saved with :meth:`save`; indexes are rebuilt."""
+        from .snapshot import load_database
+
+        return load_database(path, buffer_capacity=buffer_capacity, config=config)
+
+    # -- probability helper ----------------------------------------------------------------
+
+    def existence_probability(self, t: ProbabilisticTuple) -> float:
+        """Pr(tuple exists) against this database's history store."""
+        return probability_of(t, self.catalog.store, None, self.config)

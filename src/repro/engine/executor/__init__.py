@@ -1,0 +1,42 @@
+"""Volcano-style executor operators over probabilistic tuples."""
+
+from .aggregate import AggSpec, Aggregate, Distinct, GroupAggregate
+from .base import Operator
+from .relational import (
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    ProbFilter,
+    Project,
+    RenameOp,
+    Scalarize,
+    Sort,
+    SortByProbability,
+    ThresholdFilter,
+)
+from .scan import BTreeScan, PtiScan, RelationScan, SeqScan, SpatialScan
+
+__all__ = [
+    "Operator",
+    "SeqScan",
+    "BTreeScan",
+    "PtiScan",
+    "SpatialScan",
+    "RelationScan",
+    "Filter",
+    "Project",
+    "NestedLoopJoin",
+    "HashJoin",
+    "ThresholdFilter",
+    "ProbFilter",
+    "RenameOp",
+    "Scalarize",
+    "Sort",
+    "SortByProbability",
+    "Limit",
+    "Aggregate",
+    "AggSpec",
+    "GroupAggregate",
+    "Distinct",
+]

@@ -1,0 +1,255 @@
+"""Aggregate operator: COUNT / SUM / AVG(expected) / MIN / MAX over a stream.
+
+Aggregates over uncertain attributes return *distributions*: COUNT(*) is a
+Poisson-binomial over existence events, SUM(attr) is a convolution (exact
+or continuous-approximated per Section I's discussion), MIN/MAX come from
+cdf products.  EXPECTED(attr) returns a certain scalar.
+
+The operator materialises its input (aggregation is inherently blocking)
+into a transient :class:`ProbabilisticRelation` and delegates the math to
+:mod:`repro.core.aggregates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ...core import aggregates as agg
+from ...core.history import HistoryStore
+from ...core.model import (
+    DEFAULT_CONFIG,
+    Column,
+    DataType,
+    ModelConfig,
+    ProbabilisticRelation,
+    ProbabilisticSchema,
+    ProbabilisticTuple,
+)
+from ...errors import QueryError
+from .base import Operator
+
+__all__ = ["AggSpec", "Aggregate", "GroupAggregate", "Distinct"]
+
+_FUNCTIONS = ("count", "sum", "expected", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate item: function, argument column, output name."""
+
+    func: str
+    attr: Optional[str] = None
+    alias: Optional[str] = None
+    method: str = "auto"  # SUM only: exact | gaussian | histogram | auto
+
+    def __post_init__(self) -> None:
+        if self.func not in _FUNCTIONS:
+            raise QueryError(f"unknown aggregate {self.func!r}; use one of {_FUNCTIONS}")
+        if self.func != "count" and self.attr is None:
+            raise QueryError(f"{self.func.upper()} needs a column argument")
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        return self.func if self.attr is None else f"{self.func}_{self.attr}"
+
+
+class Aggregate(Operator):
+    """Blocking aggregation producing exactly one output tuple."""
+
+    def __init__(
+        self,
+        child: Operator,
+        specs: Sequence[AggSpec],
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        if not specs:
+            raise QueryError("aggregate needs at least one item")
+        self.child = child
+        self.specs = list(specs)
+        self.store = store
+        self.config = config
+        columns: List[Column] = []
+        dependency = []
+        for spec in self.specs:
+            name = spec.output_name
+            if spec.func == "expected":
+                columns.append(Column(name, DataType.REAL))
+            else:
+                columns.append(Column(name, DataType.REAL))
+                dependency.append({name})
+        self.output_schema = ProbabilisticSchema(columns, dependency)
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        rel = ProbabilisticRelation(self.child.output_schema, store=self.store)
+        for t in self.child:
+            rel.add_tuple(t, acquire=False)
+
+        certain = {}
+        pdfs = {}
+        lineage = {}
+        for spec in self.specs:
+            name = spec.output_name
+            if spec.func == "count":
+                result = agg.count_distribution(rel, self.config).with_attrs([name])
+            elif spec.func == "sum":
+                result = agg.sum_distribution(
+                    rel, spec.attr, method=spec.method, config=self.config
+                ).with_attrs([name])
+            elif spec.func == "expected":
+                certain[name] = agg.expected_value(rel, spec.attr, self.config)
+                continue
+            elif spec.func == "min":
+                result = agg.min_distribution(rel, spec.attr).with_attrs([name])
+            else:  # max
+                result = agg.max_distribution(rel, spec.attr).with_attrs([name])
+            pdfs[frozenset({name})] = result
+            lineage[frozenset({name})] = frozenset()
+        yield ProbabilisticTuple(self.store.new_tuple_id(), certain, pdfs, lineage)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        items = ", ".join(
+            f"{s.func.upper()}({s.attr or '*'}) AS {s.output_name}" for s in self.specs
+        )
+        return f"Aggregate({items})"
+
+
+class GroupAggregate(Operator):
+    """GROUP BY over certain columns, with per-group aggregates.
+
+    Emits one tuple per distinct grouping-key combination (keys with NULLs
+    group together, as in SQL), carrying the group's certain key values and
+    one (possibly distribution-valued) column per aggregate item.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_attrs: Sequence[str],
+        specs: Sequence[AggSpec],
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        if not group_attrs:
+            raise QueryError("GROUP BY needs at least one column")
+        for attr in group_attrs:
+            if not child.output_schema.has_column(attr):
+                raise QueryError(f"GROUP BY column {attr!r} is unknown")
+            if child.output_schema.is_uncertain(attr):
+                raise QueryError(
+                    f"GROUP BY needs certain columns; {attr!r} is uncertain "
+                    "(grouping by uncertain values requires possible-worlds "
+                    "semantics over group membership)"
+                )
+        self.child = child
+        self.group_attrs = list(group_attrs)
+        self.specs = list(specs)
+        self.store = store
+        self.config = config
+        group_columns = [child.output_schema.column(a) for a in self.group_attrs]
+        agg_columns: List[Column] = []
+        dependency = []
+        for spec in self.specs:
+            agg_columns.append(Column(spec.output_name, DataType.REAL))
+            if spec.func != "expected":
+                dependency.append({spec.output_name})
+        self.output_schema = ProbabilisticSchema(
+            group_columns + agg_columns, dependency
+        )
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        groups: dict = {}
+        order: List[tuple] = []
+        for t in self.child:
+            key = tuple(t.certain.get(a) for a in self.group_attrs)
+            if key not in groups:
+                groups[key] = ProbabilisticRelation(
+                    self.child.output_schema, store=self.store
+                )
+                order.append(key)
+            groups[key].add_tuple(t, acquire=False)
+
+        for key in order:
+            rel = groups[key]
+            certain = dict(zip(self.group_attrs, key))
+            pdfs = {}
+            lineage = {}
+            for spec in self.specs:
+                name = spec.output_name
+                if spec.func == "count":
+                    result = agg.count_distribution(rel, self.config).with_attrs([name])
+                elif spec.func == "sum":
+                    result = agg.sum_distribution(
+                        rel, spec.attr, method=spec.method, config=self.config
+                    ).with_attrs([name])
+                elif spec.func == "expected":
+                    certain[name] = agg.expected_value(rel, spec.attr, self.config)
+                    continue
+                elif spec.func == "min":
+                    result = agg.min_distribution(rel, spec.attr).with_attrs([name])
+                else:  # max
+                    result = agg.max_distribution(rel, spec.attr).with_attrs([name])
+                pdfs[frozenset({name})] = result
+                lineage[frozenset({name})] = frozenset()
+            yield ProbabilisticTuple(
+                self.store.new_tuple_id(), certain, pdfs, lineage
+            )
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        items = ", ".join(
+            f"{s.func.upper()}({s.attr or '*'})" for s in self.specs
+        )
+        return f"GroupAggregate(by {', '.join(self.group_attrs)}; {items})"
+
+
+class Distinct(Operator):
+    """SELECT DISTINCT over certain-valued rows (paper future work).
+
+    Delegates to :func:`repro.core.distinct.distinct`; existence
+    probabilities combine under verified historical independence, and the
+    result rows carry their probability in a phantom dependency set.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        from ...core.distinct import EXISTS_ATTR
+
+        self.child = child
+        self.store = store
+        self.config = config
+        self.output_schema = ProbabilisticSchema(
+            child.output_schema.columns, [{EXISTS_ATTR}]
+        )
+        if child.output_schema.uncertain_attrs:
+            raise QueryError(
+                "SELECT DISTINCT needs certain output columns; project or "
+                "aggregate the uncertain ones first (paper Section III-B "
+                "leaves general duplicate elimination to future work)"
+            )
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        from ...core.distinct import distinct as core_distinct
+
+        rel = ProbabilisticRelation(self.child.output_schema, store=self.store)
+        for t in self.child:
+            rel.add_tuple(t, acquire=False)
+        return iter(core_distinct(rel, self.config).tuples)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Distinct"

@@ -1,0 +1,38 @@
+"""Iterator-model executor: the operator interface.
+
+Operators form a tree; each yields :class:`ProbabilisticTuple` instances
+and exposes its output :class:`ProbabilisticSchema`.  All probabilistic
+math is delegated to the plans in :mod:`repro.core` — operators only
+orchestrate streaming, storage access and index usage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...core.model import ProbabilisticSchema, ProbabilisticTuple
+
+__all__ = ["Operator"]
+
+
+class Operator:
+    """Base class of executor operators (Volcano-style, pull-based)."""
+
+    output_schema: ProbabilisticSchema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        raise NotImplementedError
+
+    def children(self) -> List["Operator"]:
+        return []
+
+    def label(self) -> str:
+        """One-line description used by EXPLAIN."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the plan subtree."""
+        lines = ["  " * indent + "-> " + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)

@@ -1,0 +1,523 @@
+"""Streaming relational operators: filter, project, joins, threshold, sort, limit.
+
+Each probabilistic decision is delegated to the core plans
+(:class:`~repro.core.select.SelectionPlan`,
+:class:`~repro.core.project.ProjectionPlan`,
+:func:`~repro.core.threshold.probability_of`), so the executor and the
+in-memory model cannot diverge semantically.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...core.history import HistoryStore, rename_lineage
+from ...core.model import (
+    DEFAULT_CONFIG,
+    ModelConfig,
+    ProbabilisticSchema,
+    ProbabilisticTuple,
+)
+from ...core.predicates import Predicate
+from ...core.project import ProjectionPlan
+from ...core.select import SelectionPlan
+from ...core.threshold import probability_of
+from ...errors import QueryError, SchemaError
+from .base import Operator
+
+__all__ = [
+    "Filter",
+    "Project",
+    "Scalarize",
+    "RenameOp",
+    "NestedLoopJoin",
+    "HashJoin",
+    "ThresholdFilter",
+    "ProbFilter",
+    "Sort",
+    "SortByProbability",
+    "Limit",
+]
+
+_THRESH_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+
+class Filter(Operator):
+    """σ over a stream, via the shared SelectionPlan."""
+
+    def __init__(
+        self,
+        child: Operator,
+        predicate: Predicate,
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        self.child = child
+        self.predicate = predicate
+        self.store = store
+        self.plan = SelectionPlan(child.output_schema, predicate, config)
+        self.output_schema = self.plan.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for t in self.child:
+            result = self.plan.apply(t, self.store)
+            if result is not None:
+                yield result
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class Project(Operator):
+    """Π over a stream (conservative phantom policy — see ProjectionPlan)."""
+
+    def __init__(
+        self,
+        child: Operator,
+        attrs: Sequence[str],
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        self.child = child
+        self.attrs = list(attrs)
+        self.plan = ProjectionPlan(child.output_schema, attrs, partial_sets=None, config=config)
+        self.output_schema = self.plan.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for t in self.child:
+            yield self.plan.apply(t)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.attrs)})"
+
+
+def _merge_schemas(
+    left: ProbabilisticSchema, right: ProbabilisticSchema
+) -> Tuple[ProbabilisticSchema, Dict[str, str]]:
+    """Combined cross-product schema, with colliding phantoms renamed on the right."""
+    left_attrs = set(left.visible_attrs) | left.phantom_attrs
+    right_attrs = set(right.visible_attrs) | right.phantom_attrs
+    visible_overlap = set(left.visible_attrs) & set(right.visible_attrs)
+    if visible_overlap:
+        raise SchemaError(
+            f"join attribute collision on {sorted(visible_overlap)}; alias one side"
+        )
+    renames: Dict[str, str] = {}
+    overlap = (left_attrs & right_attrs) - visible_overlap
+    taken = left_attrs | right_attrs
+    for attr in sorted(overlap):
+        if attr not in right.phantom_attrs:
+            raise SchemaError(
+                f"attribute {attr!r} is phantom on the left but visible on the "
+                "right; alias one side"
+            )
+        i = 1
+        while f"{attr}#{i}" in taken:
+            i += 1
+        renames[attr] = f"{attr}#{i}"
+        taken.add(f"{attr}#{i}")
+    renamed_right = right.renamed(renames) if renames else right
+    merged = ProbabilisticSchema(
+        list(left.columns) + list(renamed_right.columns),
+        list(left.dependency) + list(renamed_right.dependency),
+    )
+    return merged, renames
+
+
+def _rename_tuple(t: ProbabilisticTuple, renames: Dict[str, str]) -> ProbabilisticTuple:
+    if not renames:
+        return t
+    certain = {renames.get(k, k): v for k, v in t.certain.items()}
+    pdfs = {}
+    lineage = {}
+    for dep, pdf in t.pdfs.items():
+        new_dep = frozenset(renames.get(a, a) for a in dep)
+        pdfs[new_dep] = None if pdf is None else pdf.rename(renames)
+        lineage[new_dep] = rename_lineage(t.lineage.get(dep, frozenset()), renames)
+    return ProbabilisticTuple(t.tuple_id, certain, pdfs, lineage)
+
+
+def _merge_pair(
+    tl: ProbabilisticTuple, tr: ProbabilisticTuple, tuple_id: int
+) -> ProbabilisticTuple:
+    certain = dict(tl.certain)
+    certain.update(tr.certain)
+    pdfs = dict(tl.pdfs)
+    pdfs.update(tr.pdfs)
+    lineage = dict(tl.lineage)
+    lineage.update(tr.lineage)
+    return ProbabilisticTuple(tuple_id, certain, pdfs, lineage)
+
+
+class NestedLoopJoin(Operator):
+    """⋈ via nested loops: the right input is materialised once."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicate: Predicate,
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.store = store
+        self.config = config
+        merged, self._renames = _merge_schemas(left.output_schema, right.output_schema)
+        self.plan = SelectionPlan(merged, predicate, config)
+        self.output_schema = self.plan.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        inner = [_rename_tuple(t, self._renames) for t in self.right]
+        for tl in self.left:
+            for tr in inner:
+                pair = _merge_pair(tl, tr, self.store.new_tuple_id())
+                result = self.plan.apply(pair, self.store)
+                if result is not None:
+                    yield result
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"NestedLoopJoin({self.predicate!r})"
+
+
+class HashJoin(Operator):
+    """Equi-join on *certain* key columns: hash build + probe.
+
+    The full predicate (which may include additional probabilistic terms)
+    is still applied through the SelectionPlan after the hash pre-filter —
+    the hash only prunes pairs whose certain keys cannot match.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key: str,
+        right_key: str,
+        predicate: Predicate,
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        for schema, key, side in (
+            (left.output_schema, left_key, "left"),
+            (right.output_schema, right_key, "right"),
+        ):
+            if not schema.has_column(key) or schema.is_uncertain(key):
+                raise QueryError(
+                    f"hash join {side} key {key!r} must be a certain column"
+                )
+        self.left, self.right = left, right
+        self.left_key, self.right_key = left_key, right_key
+        self.predicate = predicate
+        self.store = store
+        merged, self._renames = _merge_schemas(left.output_schema, right.output_schema)
+        self.plan = SelectionPlan(merged, predicate, config)
+        self.output_schema = self.plan.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        buckets: Dict[object, List[ProbabilisticTuple]] = {}
+        for tr in self.right:
+            renamed = _rename_tuple(tr, self._renames)
+            key = renamed.certain.get(self._renames.get(self.right_key, self.right_key))
+            if key is not None:
+                buckets.setdefault(key, []).append(renamed)
+        for tl in self.left:
+            key = tl.certain.get(self.left_key)
+            if key is None:
+                continue
+            for tr in buckets.get(key, ()):
+                pair = _merge_pair(tl, tr, self.store.new_tuple_id())
+                result = self.plan.apply(pair, self.store)
+                if result is not None:
+                    yield result
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"HashJoin({self.left_key} = {self.right_key}, {self.predicate!r})"
+
+
+class Scalarize(Operator):
+    """Per-row scalarisation of pdf columns: MEAN / VARIANCE / MASS.
+
+    Appends certain REAL columns computed from each tuple's marginal pdf:
+    ``mean`` and ``variance`` are conditional on existence, ``mass`` is the
+    (unconditional) probability that the attribute's dependency set exists.
+    NULL pdfs scalarise to NULL.
+    """
+
+    #: (spec func name) -> callable(marginal UnivariatePdf) -> float
+    FUNCS = {
+        "mean": lambda pdf: pdf.mean(),
+        "variance": lambda pdf: pdf.variance(),
+        "mass": lambda pdf: pdf.mass(),
+    }
+
+    def __init__(self, child: Operator, items: Sequence[Tuple[str, str, str]]):
+        """``items``: (func, source attr, output name) triples."""
+        from ..table import Table  # noqa: F401  (avoid circular import hints)
+        from ...core.model import Column, DataType
+
+        if not items:
+            raise QueryError("Scalarize needs at least one item")
+        self.child = child
+        self.items = list(items)
+        schema = child.output_schema
+        taken = set(schema.visible_attrs) | schema.phantom_attrs
+        columns = list(schema.columns)
+        for func, attr, name in self.items:
+            if func not in self.FUNCS:
+                raise QueryError(f"unknown scalar function {func!r}")
+            if not schema.has_column(attr):
+                raise QueryError(f"unknown column {attr!r}")
+            if not schema.is_uncertain(attr):
+                raise QueryError(
+                    f"{func.upper()}({attr}) needs an uncertain column; "
+                    f"{attr!r} is certain"
+                )
+            if name in taken:
+                raise QueryError(f"output column {name!r} already exists")
+            taken.add(name)
+            columns.append(Column(name, DataType.REAL))
+        self.output_schema = ProbabilisticSchema(columns, schema.dependency)
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for t in self.child:
+            certain = dict(t.certain)
+            for func, attr, name in self.items:
+                pdf = t.pdf_of_attr(attr)
+                if pdf is None:
+                    certain[name] = None
+                    continue
+                marginal = pdf.marginalize([attr]) if len(pdf.attrs) > 1 else pdf
+                certain[name] = float(self.FUNCS[func](marginal))
+            yield ProbabilisticTuple(t.tuple_id, certain, t.pdfs, t.lineage)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        inner = ", ".join(f"{f.upper()}({a}) AS {n}" for f, a, n in self.items)
+        return f"Scalarize({inner})"
+
+
+class RenameOp(Operator):
+    """Rename attributes throughout a stream (aliasing, join disambiguation)."""
+
+    def __init__(self, child: Operator, mapping: Dict[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+        self.output_schema = child.output_schema.renamed(self.mapping)
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for t in self.child:
+            yield _rename_tuple(t, self.mapping)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        pairs = ", ".join(f"{a}->{b}" for a, b in sorted(self.mapping.items()))
+        return f"Rename({pairs})"
+
+
+class ProbFilter(Operator):
+    """``PROB(predicate) op p``: keep tuples whose predicate probability passes.
+
+    The probability is computed by running the shared selection plan on the
+    tuple and measuring the surviving joint mass (times the mass of every
+    untouched partial pdf) — i.e. P(predicate holds AND the tuple exists).
+    Qualifying tuples are emitted *unchanged* (no floors are applied), per
+    Section III-E: operations on probability values copy histories over.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        predicate: Predicate,
+        op: str,
+        threshold: float,
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        if op not in _THRESH_OPS:
+            raise QueryError(f"unknown threshold operator {op!r}")
+        self.child = child
+        self.predicate = predicate
+        self.op = op
+        self.threshold = float(threshold)
+        self.store = store
+        self.config = config
+        self.plan = SelectionPlan(child.output_schema, predicate, config)
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        compare = _THRESH_OPS[self.op]
+        for t in self.child:
+            selected = self.plan.apply(t, self.store)
+            p = 0.0 if selected is None else probability_of(
+                selected, self.store, None, self.config
+            )
+            if compare(p, self.threshold):
+                yield t
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"ProbFilter(Pr({self.predicate!r}) {self.op} {self.threshold:g})"
+
+
+class ThresholdFilter(Operator):
+    """σ over probability values: keep tuples with ``Pr(attrs) op p``."""
+
+    def __init__(
+        self,
+        child: Operator,
+        attrs: Optional[Sequence[str]],
+        op: str,
+        threshold: float,
+        store: HistoryStore,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        if op not in _THRESH_OPS:
+            raise QueryError(f"unknown threshold operator {op!r}")
+        if attrs is not None:
+            for a in attrs:
+                if not child.output_schema.has_column(a):
+                    raise QueryError(f"unknown attribute {a!r} in PROB()")
+        self.child = child
+        self.attrs = list(attrs) if attrs is not None else None
+        self.op = op
+        self.threshold = float(threshold)
+        self.store = store
+        self.config = config
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        compare = _THRESH_OPS[self.op]
+        for t in self.child:
+            p = probability_of(t, self.store, self.attrs, self.config)
+            if compare(p, self.threshold):
+                yield t
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        target = ", ".join(self.attrs) if self.attrs else "*"
+        return f"ThresholdFilter(Pr({target}) {self.op} {self.threshold:g})"
+
+
+class SortByProbability(Operator):
+    """ORDER BY PROB(*): rank tuples by existence probability.
+
+    The classic probabilistic top-k pattern — pair with Limit to get the k
+    most likely answers.  History-aware: shared ancestors are counted once
+    per tuple.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        store: HistoryStore,
+        descending: bool = True,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
+        self.child = child
+        self.store = store
+        self.descending = descending
+        self.config = config
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        rows = [
+            (probability_of(t, self.store, None, self.config), i, t)
+            for i, t in enumerate(self.child)
+        ]
+        rows.sort(key=lambda item: (-item[0], item[1]) if self.descending else (item[0], item[1]))
+        return iter([t for _, _, t in rows])
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        direction = "DESC" if self.descending else "ASC"
+        return f"SortByProbability({direction})"
+
+
+class Sort(Operator):
+    """ORDER BY over certain columns (materialising)."""
+
+    def __init__(self, child: Operator, attrs: Sequence[str], descending: bool = False):
+        for a in attrs:
+            if not child.output_schema.has_column(a) or child.output_schema.is_uncertain(a):
+                raise QueryError(f"ORDER BY needs certain columns; {a!r} is not")
+        self.child = child
+        self.attrs = list(attrs)
+        self.descending = descending
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        rows = list(self.child)
+        # None sorts last, ascending order by default.
+        rows.sort(
+            key=lambda t: tuple(
+                (t.certain.get(a) is None, t.certain.get(a)) for a in self.attrs
+            ),
+            reverse=self.descending,
+        )
+        return iter(rows)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        direction = " DESC" if self.descending else ""
+        return f"Sort({', '.join(self.attrs)}{direction})"
+
+
+class Limit(Operator):
+    """LIMIT n [OFFSET m]."""
+
+    def __init__(self, child: Operator, count: int, offset: int = 0):
+        if count < 0:
+            raise QueryError("LIMIT must be non-negative")
+        if offset < 0:
+            raise QueryError("OFFSET must be non-negative")
+        self.child = child
+        self.count = count
+        self.offset = offset
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for i, t in enumerate(self.child):
+            if i < self.offset:
+                continue
+            if i >= self.offset + self.count:
+                return
+            yield t
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        suffix = f" OFFSET {self.offset}" if self.offset else ""
+        return f"Limit({self.count}{suffix})"

@@ -1,0 +1,144 @@
+"""Scan operators: sequential, B+tree, and probability-threshold index scans."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ...core.model import ProbabilisticRelation, ProbabilisticTuple
+from ...errors import QueryError
+from ..table import Table
+from .base import Operator
+
+__all__ = ["SeqScan", "BTreeScan", "PtiScan", "SpatialScan", "RelationScan"]
+
+
+class RelationScan(Operator):
+    """Scan an in-memory probabilistic relation (no storage involved).
+
+    Lets the executor operators run over :class:`ProbabilisticRelation`
+    values produced by the model API — used by benchmarks and by users who
+    want operator trees without a stored table.
+    """
+
+    def __init__(self, relation: ProbabilisticRelation):
+        self.relation = relation
+        self.output_schema = relation.schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return iter(self.relation.tuples)
+
+    def label(self) -> str:
+        name = self.relation.name or "<anonymous>"
+        return f"RelationScan({name})"
+
+
+class SeqScan(Operator):
+    """Full sequential scan of a table, in page order."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.output_schema = table.schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for _rid, t in self.table.scan():
+            yield t
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name})"
+
+
+class BTreeScan(Operator):
+    """Range scan via a B+tree on a certain column.
+
+    ``lo``/``hi`` of ``None`` leave that side unbounded.  Emits tuples in
+    key order.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attr: str,
+        lo=None,
+        hi=None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ):
+        if attr not in table.btrees:
+            raise QueryError(f"no B+tree index on {table.name}.{attr}")
+        self.table = table
+        self.attr = attr
+        self.lo, self.hi = lo, hi
+        self.include_lo, self.include_hi = include_lo, include_hi
+        self.output_schema = table.schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        tree = self.table.btrees[self.attr]
+        for _key, rid in tree.range_scan(self.lo, self.hi, self.include_lo, self.include_hi):
+            yield self.table.read(rid)
+
+    def label(self) -> str:
+        return f"BTreeScan({self.table.name}.{self.attr} in [{self.lo}, {self.hi}])"
+
+
+class SpatialScan(Operator):
+    """Candidate scan via a spatial grid index over a joint dependency set.
+
+    Yields records whose support bounding box intersects the query window;
+    the caller verifies exactly (the planner stacks the real Filter above).
+    """
+
+    def __init__(self, table: Table, attrs, window):
+        attrs = tuple(attrs)
+        if attrs not in table.spatials:
+            raise QueryError(f"no spatial index on {table.name}{list(attrs)}")
+        self.table = table
+        self.attrs = attrs
+        self.window = [(float(lo), float(hi)) for lo, hi in window]
+        self.output_schema = table.schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        index = self.table.spatials[self.attrs]
+        for rid in index.candidates(self.window):
+            yield self.table.read(rid)
+
+    def label(self) -> str:
+        parts = ", ".join(
+            f"{a} in [{lo:g}, {hi:g}]" for a, (lo, hi) in zip(self.attrs, self.window)
+        )
+        return f"SpatialScan({self.table.name}: {parts})"
+
+
+class PtiScan(Operator):
+    """Candidate scan via a probability-threshold index on an uncertain column.
+
+    Yields only records whose x-bounds say they *might* satisfy
+    ``P(attr in [lo, hi]) >= threshold``; the caller must verify exactly
+    (the planner stacks the real Filter / ThresholdFilter on top).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attr: str,
+        lo: float,
+        hi: float,
+        threshold: float = 0.0,
+    ):
+        if attr not in table.ptis:
+            raise QueryError(f"no probability-threshold index on {table.name}.{attr}")
+        self.table = table
+        self.attr = attr
+        self.lo, self.hi = float(lo), float(hi)
+        self.threshold = float(threshold)
+        self.output_schema = table.schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        index = self.table.ptis[self.attr]
+        for rid in sorted(index.candidates(self.lo, self.hi, self.threshold)):
+            yield self.table.read(rid)
+
+    def label(self) -> str:
+        return (
+            f"PtiScan({self.table.name}.{self.attr} in [{self.lo:g}, {self.hi:g}]"
+            f" @ p>={self.threshold:g})"
+        )

@@ -1,0 +1,204 @@
+"""An in-memory B+tree index over certain attribute values.
+
+Keys are comparable Python values (numbers or strings); each key maps to the
+RIDs of the records carrying it (duplicates allowed).  Leaves are chained
+for range scans.  The tree is used by the planner for equality and range
+predicates over *certain* columns — uncertain columns go through the
+probability-threshold index instead.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from ...errors import IndexError_
+from ..storage.heapfile import RID
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: List = []
+        self.children: List["_Node"] = []  # internal nodes only
+        self.values: List[List[RID]] = []  # leaves only
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """A B+tree with configurable fan-out (default order 64)."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise IndexError_("B+tree order must be >= 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of (key, rid) entries."""
+        return self._size
+
+    # -- search ---------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key) -> List[RID]:
+        """RIDs of all records with exactly this key."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range_scan(
+        self,
+        lo=None,
+        hi=None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[Tuple[object, RID]]:
+        """Yield (key, rid) pairs with lo <= key <= hi in key order."""
+        if lo is None:
+            node: Optional[_Node] = self._root
+            while node is not None and not node.is_leaf:
+                node = node.children[0]
+            idx = 0
+        else:
+            node = self._find_leaf(lo)
+            idx = bisect.bisect_left(node.keys, lo)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if lo is not None:
+                    if key < lo or (key == lo and not include_lo):
+                        idx += 1
+                        continue
+                if hi is not None:
+                    if key > hi or (key == hi and not include_hi):
+                        return
+                for rid in node.values[idx]:
+                    yield key, rid
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, key, rid: RID) -> None:
+        """Add one (key, rid) entry."""
+        split = self._insert(self._root, key, rid)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, key, rid: RID) -> Optional[Tuple[object, _Node]]:
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(rid)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [rid])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, rid)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    def delete(self, key, rid: RID) -> bool:
+        """Remove one (key, rid) entry; returns False when absent.
+
+        Underflowed nodes are not rebalanced (deletes are rare in the
+        workloads; lookups stay correct, only occupancy degrades).
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        try:
+            leaf.values[idx].remove(rid)
+        except ValueError:
+            return False
+        if not leaf.values[idx]:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+        self._size -= 1
+        return True
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def depth(self) -> int:
+        node, d = self._root, 1
+        while not node.is_leaf:
+            node = node.children[0]
+            d += 1
+        return d
+
+    def check_invariants(self) -> None:
+        """Validate key ordering and leaf chaining (used in tests)."""
+        self._check_node(self._root, None, None)
+        prev = None
+        for key, _ in self.range_scan():
+            if prev is not None and key < prev:
+                raise IndexError_("leaf chain out of order")
+            prev = key
+
+    def _check_node(self, node: _Node, lo, hi) -> None:
+        for i in range(1, len(node.keys)):
+            if node.keys[i - 1] > node.keys[i]:
+                raise IndexError_("node keys out of order")
+        for key in node.keys:
+            if lo is not None and key < lo:
+                raise IndexError_("key below subtree bound")
+            if hi is not None and key > hi:
+                raise IndexError_("key above subtree bound")
+        if not node.is_leaf:
+            if len(node.children) != len(node.keys) + 1:
+                raise IndexError_("internal node arity mismatch")
+            for i, child in enumerate(node.children):
+                child_lo = node.keys[i - 1] if i > 0 else lo
+                child_hi = node.keys[i] if i < len(node.keys) else hi
+                self._check_node(child, child_lo, child_hi)

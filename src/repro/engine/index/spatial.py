@@ -1,0 +1,139 @@
+"""A uniform-grid spatial index over joint uncertain locations.
+
+Moving-object workloads (Section II-A's x/y example) query 2-D windows:
+``x BETWEEN .. AND y BETWEEN ..``.  This index stores, per record, the
+bounding box of the joint pdf's support hull, hashed into a uniform grid of
+cells; window queries collect candidates from the overlapping cells only.
+
+Like the PTI, pruning is *sound*: a record whose support box misses the
+window cannot satisfy the predicate with positive probability, and
+surviving candidates are verified exactly by the executor's Filter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ...errors import IndexError_
+from ...pdf.base import Pdf
+from ..storage.heapfile import RID
+
+__all__ = ["SpatialGridIndex"]
+
+Box = Tuple[Tuple[float, float], ...]  # ((lo, hi) per dimension)
+
+
+@dataclass
+class _Entry:
+    rid: RID
+    box: Box
+
+
+class SpatialGridIndex:
+    """Grid-hashed bounding boxes of joint pdf supports."""
+
+    def __init__(self, attrs: Sequence[str], cell_size: float = 10.0):
+        if len(attrs) < 2:
+            raise IndexError_("a spatial index needs at least two attributes")
+        if cell_size <= 0:
+            raise IndexError_("cell_size must be positive")
+        self.attrs: Tuple[str, ...] = tuple(attrs)
+        self.cell_size = float(cell_size)
+        self._entries: Dict[RID, _Entry] = {}
+        self._cells: Dict[Tuple[int, ...], Set[RID]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _cell_range(self, box: Box) -> List[Tuple[int, ...]]:
+        spans = []
+        for lo, hi in box:
+            spans.append(
+                range(
+                    math.floor(lo / self.cell_size),
+                    math.floor(hi / self.cell_size) + 1,
+                )
+            )
+        cells: List[Tuple[int, ...]] = [()]
+        for span in spans:
+            cells = [cell + (i,) for cell in cells for i in span]
+        return cells
+
+    def insert(self, rid: RID, pdf: Pdf) -> None:
+        """Index one record's joint pdf by its support bounding box."""
+        support = pdf.support()
+        missing = [a for a in self.attrs if a not in support]
+        if missing:
+            raise IndexError_(f"pdf lacks attributes {missing}")
+        box: Box = tuple((float(support[a][0]), float(support[a][1])) for a in self.attrs)
+        entry = _Entry(rid, box)
+        self._entries[rid] = entry
+        for cell in self._cell_range(box):
+            self._cells.setdefault(cell, set()).add(rid)
+
+    def delete(self, rid: RID) -> bool:
+        entry = self._entries.pop(rid, None)
+        if entry is None:
+            return False
+        for cell in self._cell_range(entry.box):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(rid)
+                if not bucket:
+                    del self._cells[cell]
+        return True
+
+    # -- queries -------------------------------------------------------------------
+
+    @staticmethod
+    def _overlaps(box: Box, window: Box) -> bool:
+        return all(lo <= w_hi and hi >= w_lo for (lo, hi), (w_lo, w_hi) in zip(box, window))
+
+    def candidates(self, window: Sequence[Tuple[float, float]]) -> List[RID]:
+        """RIDs whose support box intersects the query window (sound)."""
+        window_box: Box = tuple((float(lo), float(hi)) for lo, hi in window)
+        if len(window_box) != len(self.attrs):
+            raise IndexError_(
+                f"window has {len(window_box)} dimensions, index has {len(self.attrs)}"
+            )
+        if any(hi < lo for lo, hi in window_box):
+            return []
+        seen: Set[RID] = set()
+        out: List[RID] = []
+        for cell in self._cell_range(window_box):
+            for rid in self._cells.get(cell, ()):
+                if rid in seen:
+                    continue
+                seen.add(rid)
+                if self._overlaps(self._entries[rid].box, window_box):
+                    out.append(rid)
+        return sorted(out)
+
+    def candidates_within(
+        self, point: Sequence[float], radius: float
+    ) -> List[RID]:
+        """RIDs whose support box intersects the ball around ``point``.
+
+        Used by nearest-neighbor search to restrict the candidate set.
+        """
+        window = [(q - radius, q + radius) for q in point]
+        out = []
+        for rid in self.candidates(window):
+            box = self._entries[rid].box
+            # Exact box-to-point distance check (the window was the hull).
+            sq = 0.0
+            for (lo, hi), q in zip(box, point):
+                d = max(lo - q, 0.0, q - hi)
+                sq += d * d
+            if sq <= radius * radius:
+                out.append(rid)
+        return out
+
+    def selectivity(self, window: Sequence[Tuple[float, float]]) -> float:
+        if not self._entries:
+            return 1.0
+        return len(self.candidates(window)) / len(self._entries)

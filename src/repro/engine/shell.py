@@ -1,0 +1,147 @@
+"""An interactive SQL shell for the probabilistic database.
+
+::
+
+    python -m repro.engine.shell [snapshot.rpdb]
+
+Statements end with ``;``.  Dot-commands:
+
+=============== =====================================================
+``.help``        show this help
+``.tables``      list tables with row/page counts
+``.schema NAME`` show one table's probabilistic schema
+``.stats``       buffer pool and I/O statistics
+``.save PATH``   snapshot the database to a file
+``.open PATH``   replace the session with a saved snapshot
+``.quit``        exit
+=============== =====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from ..errors import ReproError
+from .database import Database
+
+__all__ = ["Shell", "main"]
+
+_BANNER = (
+    "repro probabilistic database shell — SQL statements end with ';', "
+    "'.help' for commands"
+)
+
+
+class Shell:
+    """A line-oriented REPL over a :class:`Database` (testable: pass streams)."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+    ):
+        self.db = db if db is not None else Database()
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self._buffer: list = []
+        self._running = True
+
+    def println(self, text: str = "") -> None:
+        self.stdout.write(text + "\n")
+
+    # -- command handling ----------------------------------------------------
+
+    def handle_dot_command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        arg = parts[1].strip() if len(parts) > 1 else ""
+        if command in (".quit", ".exit"):
+            self._running = False
+        elif command == ".help":
+            self.println(__doc__ or "")
+        elif command == ".tables":
+            for name, table in sorted(self.db.catalog.tables.items()):
+                stats = table.stats()
+                self.println(
+                    f"  {table.name:<24} {stats['rows']:>8} rows "
+                    f"{stats['pages']:>6} pages"
+                )
+            if not self.db.catalog.tables:
+                self.println("  (no tables)")
+        elif command == ".schema":
+            if not arg:
+                self.println("usage: .schema TABLE")
+                return
+            table = self.db.catalog.get_table(arg)
+            self.println(repr(table.schema))
+        elif command == ".stats":
+            self.println(f"  buffer: {self.db.buffer_stats}")
+            self.println(f"  disk  : {self.db.io_counters}")
+        elif command == ".save":
+            if not arg:
+                self.println("usage: .save PATH")
+                return
+            self.db.save(arg)
+            self.println(f"saved to {arg}")
+        elif command == ".open":
+            if not arg:
+                self.println("usage: .open PATH")
+                return
+            self.db = Database.open(arg)
+            self.println(f"opened {arg}")
+        else:
+            self.println(f"unknown command {command}; try .help")
+
+    def handle_statement(self, sql: str) -> None:
+        result = self.db.execute(sql)
+        if result.plan_text and not result.rows and result.message == "EXPLAIN":
+            self.println(result.plan_text)
+        elif result.schema is not None:
+            self.println(result.pretty())
+            self.println(f"({result.rowcount} row{'s' if result.rowcount != 1 else ''})")
+        else:
+            self.println(result.message)
+
+    def feed_line(self, line: str) -> None:
+        """Process one input line (buffering until a ';' completes a statement)."""
+        stripped = line.strip()
+        if not self._buffer and not stripped:
+            return
+        if not self._buffer and stripped.startswith("."):
+            self.handle_dot_command(stripped)
+            return
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            sql = "\n".join(self._buffer)
+            self._buffer = []
+            try:
+                self.handle_statement(sql)
+            except ReproError as exc:
+                self.println(f"error: {exc}")
+
+    def run(self) -> None:
+        self.println(_BANNER)
+        while self._running:
+            prompt = "...> " if self._buffer else "sql> "
+            self.stdout.write(prompt)
+            self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                break
+            self.feed_line(line)
+
+
+def main(argv: Optional[list] = None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    if argv:
+        db = Database.open(argv[0])
+        print(f"opened {argv[0]}")
+    else:
+        db = Database()
+    Shell(db).run()
+
+
+if __name__ == "__main__":
+    main()

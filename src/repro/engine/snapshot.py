@@ -1,0 +1,245 @@
+"""Database snapshots: save a whole database to one file and reopen it.
+
+The snapshot is self-contained: the catalog (schemas, heap-file page lists,
+index definitions), every page image, the history store (base pdfs with
+reference counts and phantom flags), and the categorical label-interning
+table all serialize into a single binary file.
+
+Restoring rebuilds the database over an in-memory disk; secondary indexes
+are rebuilt from the data (they are derived state).
+
+Categorical labels are interned process-globally; a snapshot records its
+label table and, on load, re-interns each label and verifies it receives
+the same code.  Loading a snapshot into a process whose interning table
+already conflicts (same code position, different label) raises — load
+snapshots before creating new categorical data when mixing sources.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Dict, List
+
+from ..core.history import AncestorRef
+from ..core.model import Column, DataType, ProbabilisticSchema
+from ..errors import SerializationError
+from ..pdf.discrete import _LABELS, code_label, label_code
+from .storage.serialize import decode_pdf, encode_pdf
+
+__all__ = ["save_database", "load_database"]
+
+_MAGIC = b"RPDB"
+_VERSION = 4
+
+
+def _w_str(f: BinaryIO, s: str) -> None:
+    raw = s.encode("utf-8")
+    f.write(struct.pack("<I", len(raw)))
+    f.write(raw)
+
+
+def _r_str(f: BinaryIO) -> str:
+    (n,) = struct.unpack("<I", f.read(4))
+    return f.read(n).decode("utf-8")
+
+
+def _w_bytes(f: BinaryIO, data: bytes) -> None:
+    f.write(struct.pack("<Q", len(data)))
+    f.write(data)
+
+
+def _r_bytes(f: BinaryIO) -> bytes:
+    (n,) = struct.unpack("<Q", f.read(8))
+    return f.read(n)
+
+
+def _w_schema(f: BinaryIO, schema: ProbabilisticSchema) -> None:
+    f.write(struct.pack("<H", len(schema.columns)))
+    for column in schema.columns:
+        _w_str(f, column.name)
+        _w_str(f, column.dtype.value)
+    f.write(struct.pack("<H", len(schema.dependency)))
+    for dep in schema.dependency:
+        attrs = sorted(dep)
+        f.write(struct.pack("<H", len(attrs)))
+        for a in attrs:
+            _w_str(f, a)
+
+
+def _r_schema(f: BinaryIO) -> ProbabilisticSchema:
+    (n_cols,) = struct.unpack("<H", f.read(2))
+    columns = []
+    for _ in range(n_cols):
+        name = _r_str(f)
+        dtype = DataType(_r_str(f))
+        columns.append(Column(name, dtype))
+    (n_deps,) = struct.unpack("<H", f.read(2))
+    dependency = []
+    for _ in range(n_deps):
+        (k,) = struct.unpack("<H", f.read(2))
+        dependency.append({_r_str(f) for _ in range(k)})
+    return ProbabilisticSchema(columns, dependency)
+
+
+def save_database(db, path: str) -> None:
+    """Serialize a :class:`~repro.engine.database.Database` to ``path``."""
+    catalog = db.catalog
+    catalog.pool.flush_all()
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(struct.pack("<I", _VERSION))
+
+        # Label interning table (order defines the codes).
+        f.write(struct.pack("<I", len(_LABELS)))
+        for label in _LABELS:
+            _w_str(f, label)
+
+        # History store.
+        store = catalog.store
+        entries = store._entries  # snapshotting is a friend of the store
+        f.write(struct.pack("<q", store._next_tuple_id))
+        f.write(struct.pack("<I", len(entries)))
+        for ref, entry in entries.items():
+            f.write(struct.pack("<q", ref.tuple_id))
+            attrs = sorted(ref.attrs)
+            f.write(struct.pack("<H", len(attrs)))
+            for a in attrs:
+                _w_str(f, a)
+            f.write(struct.pack("<qB", entry.refcount, 1 if entry.alive else 0))
+            _w_bytes(f, encode_pdf(entry.pdf))
+
+        # Pages (from the flushed disk).
+        disk = catalog.pool.disk
+        page_images: Dict[int, bytes] = {}
+        for table in catalog.tables.values():
+            for page_id in table.heap.page_ids:
+                page_images[page_id] = bytes(disk.read_page(page_id))
+        f.write(struct.pack("<I", len(page_images)))
+        for page_id in sorted(page_images):
+            f.write(struct.pack("<q", page_id))
+            _w_bytes(f, page_images[page_id])
+
+        # Tables.
+        f.write(struct.pack("<I", len(catalog.tables)))
+        for table in catalog.tables.values():
+            _w_str(f, table.name)
+            _w_schema(f, table.schema)
+            f.write(struct.pack("<I", len(table.heap.page_ids)))
+            for page_id in table.heap.page_ids:
+                jumbo = page_id in table.heap._jumbo_pages
+                f.write(struct.pack("<qB", page_id, 1 if jumbo else 0))
+            f.write(struct.pack("<q", len(table.heap)))
+            # Index definitions (rebuilt from data on load).
+            f.write(struct.pack("<H", len(table.btrees)))
+            for attr in table.btrees:
+                _w_str(f, attr)
+            f.write(struct.pack("<H", len(table.ptis)))
+            for attr in table.ptis:
+                _w_str(f, attr)
+            f.write(struct.pack("<H", len(table.spatials)))
+            for attrs, index in table.spatials.items():
+                f.write(struct.pack("<H", len(attrs)))
+                for attr in attrs:
+                    _w_str(f, attr)
+                f.write(struct.pack("<d", index.cell_size))
+
+
+def load_database(path: str, buffer_capacity: int = 256, config=None):
+    """Rebuild a database from a snapshot file."""
+    from ..core.model import DEFAULT_CONFIG
+    from .database import Database
+    from .storage.disk import MemoryDisk
+
+    with open(path, "rb") as f:
+        if f.read(4) != _MAGIC:
+            raise SerializationError(f"{path!r} is not a repro database snapshot")
+        (version,) = struct.unpack("<I", f.read(4))
+        if version != _VERSION:
+            raise SerializationError(
+                f"snapshot version {version} != supported {_VERSION}"
+            )
+
+        # Re-intern labels and verify code stability.
+        (n_labels,) = struct.unpack("<I", f.read(4))
+        for expected_code in range(n_labels):
+            label = _r_str(f)
+            code = int(label_code(label))
+            if code != expected_code:
+                raise SerializationError(
+                    f"label {label!r} interned at code {code}, snapshot expects "
+                    f"{expected_code}; load snapshots before creating new "
+                    "categorical data"
+                )
+
+        db = Database(
+            disk=MemoryDisk(),
+            buffer_capacity=buffer_capacity,
+            config=config or DEFAULT_CONFIG,
+        )
+        catalog = db.catalog
+        store = catalog.store
+
+        # History store.
+        (next_tuple_id,) = struct.unpack("<q", f.read(8))
+        store._next_tuple_id = next_tuple_id
+        (n_entries,) = struct.unpack("<I", f.read(4))
+        for _ in range(n_entries):
+            (tuple_id,) = struct.unpack("<q", f.read(8))
+            (k,) = struct.unpack("<H", f.read(2))
+            attrs = frozenset(_r_str(f) for _ in range(k))
+            refcount, alive = struct.unpack("<qB", f.read(9))
+            pdf, _ = decode_pdf(_r_bytes(f))
+            ref = AncestorRef(tuple_id, attrs)
+            from ..core.history import _Entry
+
+            store._entries[ref] = _Entry(pdf=pdf, refcount=refcount, alive=bool(alive))
+
+        # Pages, written straight onto the fresh disk with matching ids.
+        disk = catalog.pool.disk
+        (n_pages,) = struct.unpack("<I", f.read(4))
+        page_map: Dict[int, bytes] = {}
+        max_page_id = -1
+        for _ in range(n_pages):
+            (page_id,) = struct.unpack("<q", f.read(8))
+            page_map[page_id] = _r_bytes(f)
+            max_page_id = max(max_page_id, page_id)
+        if max_page_id >= 0:
+            while disk.allocate() < max_page_id:
+                pass
+            for page_id, image in page_map.items():
+                disk.write_page(page_id, image)
+
+        # Tables.
+        (n_tables,) = struct.unpack("<I", f.read(4))
+        for _ in range(n_tables):
+            name = _r_str(f)
+            schema = _r_schema(f)
+            table = catalog.create_table(name, schema)
+            (n_table_pages,) = struct.unpack("<I", f.read(4))
+            for _ in range(n_table_pages):
+                page_id, jumbo = struct.unpack("<qB", f.read(9))
+                table.heap.page_ids.append(page_id)
+                table.heap._page_set.add(page_id)
+                if jumbo:
+                    table.heap._jumbo_pages.add(page_id)
+                    catalog.pool._jumbo[page_id] = True
+            (record_count,) = struct.unpack("<q", f.read(8))
+            table.heap._record_count = record_count
+            (n_btrees,) = struct.unpack("<H", f.read(2))
+            btree_attrs = [_r_str(f) for _ in range(n_btrees)]
+            (n_ptis,) = struct.unpack("<H", f.read(2))
+            pti_attrs = [_r_str(f) for _ in range(n_ptis)]
+            (n_spatials,) = struct.unpack("<H", f.read(2))
+            spatial_defs = []
+            for _ in range(n_spatials):
+                (k,) = struct.unpack("<H", f.read(2))
+                attrs = tuple(_r_str(f) for _ in range(k))
+                (cell_size,) = struct.unpack("<d", f.read(8))
+                spatial_defs.append((attrs, cell_size))
+            for attr in btree_attrs:
+                table.create_btree_index(attr)
+            for attr in pti_attrs:
+                table.create_pti_index(attr)
+            for attrs, cell_size in spatial_defs:
+                table.create_spatial_index(attrs, cell_size=cell_size)
+    return db

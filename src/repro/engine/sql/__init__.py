@@ -1,0 +1,17 @@
+"""SQL front end: lexer, parser, and planner for the uncertainty dialect."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import parse
+from .planner import Binder, build_schema, convert_predicate, plan_select
+
+__all__ = [
+    "ast",
+    "Token",
+    "tokenize",
+    "parse",
+    "Binder",
+    "build_schema",
+    "convert_predicate",
+    "plan_select",
+]

@@ -1,0 +1,537 @@
+"""Binder and planner: SQL ASTs to executor operator trees.
+
+A deliberately small rule-based planner:
+
+* single-table queries try a B+tree scan (certain range/equality conjunct
+  on an indexed column) or a probability-threshold index scan (range
+  conjuncts on a PTI-indexed uncertain column), falling back to a
+  sequential scan; the full predicate is always re-applied by a Filter, so
+  index choices affect only cost, never answers;
+* two-table queries with a certain equi-join conjunct use a hash join;
+  everything else builds left-deep nested-loop joins;
+* ``PROB(...)`` terms must be top-level conjuncts and plan into
+  ProbFilter / ThresholdFilter above the value-level plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.model import (
+    Column,
+    DataType,
+    ProbabilisticSchema,
+)
+from ...core.predicates import (
+    And,
+    Comparison,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    col,
+)
+from ...errors import QueryError, SqlBindError
+from ..catalog import Catalog
+from ..executor import (
+    AggSpec,
+    Aggregate,
+    BTreeScan,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    ProbFilter,
+    Project,
+    PtiScan,
+    RenameOp,
+    Scalarize,
+    SeqScan,
+    Sort,
+    SortByProbability,
+    SpatialScan,
+    ThresholdFilter,
+)
+from . import ast
+
+__all__ = ["plan_select", "Binder"]
+
+_DTYPES = {
+    "int": DataType.INT,
+    "real": DataType.REAL,
+    "bool": DataType.BOOL,
+    "text": DataType.TEXT,
+}
+
+
+class Binder:
+    """Resolves column references against the FROM clause bindings."""
+
+    def __init__(self, catalog: Catalog, tables: Sequence[ast.TableRef]):
+        if not tables:
+            raise SqlBindError("FROM clause is empty")
+        self.catalog = catalog
+        self.tables = list(tables)
+        bindings = [t.binding for t in self.tables]
+        if len(set(b.lower() for b in bindings)) != len(bindings):
+            raise SqlBindError(f"duplicate table bindings in FROM: {bindings}")
+        self.qualify = len(self.tables) > 1
+        # binding -> list of visible column names
+        self._columns: Dict[str, List[str]] = {}
+        for ref in self.tables:
+            table = catalog.get_table(ref.name)
+            self._columns[ref.binding.lower()] = list(table.schema.visible_attrs)
+
+    def attr_name(self, binding: str, column: str) -> str:
+        """The executor-visible attribute name for a bound column."""
+        return f"{binding}.{column}" if self.qualify else column
+
+    def resolve(self, expr: ast.ColumnExpr) -> str:
+        if expr.qualifier is not None:
+            key = expr.qualifier.lower()
+            if key not in self._columns:
+                raise SqlBindError(f"unknown table or alias {expr.qualifier!r}")
+            if expr.name not in self._columns[key]:
+                raise SqlBindError(
+                    f"table {expr.qualifier!r} has no column {expr.name!r}"
+                )
+            binding = next(t.binding for t in self.tables if t.binding.lower() == key)
+            return self.attr_name(binding, expr.name)
+        owners = [
+            t.binding
+            for t in self.tables
+            if expr.name in self._columns[t.binding.lower()]
+        ]
+        if not owners:
+            raise SqlBindError(f"unknown column {expr.name!r}")
+        if len(owners) > 1:
+            raise SqlBindError(
+                f"ambiguous column {expr.name!r}; qualify it with one of {owners}"
+            )
+        return self.attr_name(owners[0], expr.name)
+
+    def all_columns(self) -> List[str]:
+        out = []
+        for ref in self.tables:
+            for name in self._columns[ref.binding.lower()]:
+                out.append(self.attr_name(ref.binding, name))
+        return out
+
+
+def build_schema(stmt: ast.CreateTable) -> ProbabilisticSchema:
+    """Translate a CREATE TABLE AST into a probabilistic schema."""
+    columns = [Column(c.name, _DTYPES[c.dtype]) for c in stmt.columns]
+    names = {c.name for c in stmt.columns}
+    dependency: List[set] = []
+    grouped: set = set()
+    for group in stmt.dependencies:
+        unknown = [a for a in group if a not in names]
+        if unknown:
+            raise QueryError(f"DEPENDENCY references unknown columns {unknown}")
+        dependency.append(set(group))
+        grouped |= set(group)
+    for c in stmt.columns:
+        if c.uncertain and c.name not in grouped:
+            dependency.append({c.name})
+    return ProbabilisticSchema(columns, dependency)
+
+
+# ---------------------------------------------------------------------------
+# Predicate conversion
+# ---------------------------------------------------------------------------
+
+
+def _convert_operand(binder: Binder, expr: ast.ValueExpr):
+    if isinstance(expr, ast.ColumnExpr):
+        return ("column", binder.resolve(expr))
+    if isinstance(expr, ast.LiteralExpr):
+        return ("literal", expr.value)
+    raise QueryError(f"unsupported operand {expr!r}")
+
+
+_FLIP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _finite(value: float) -> bool:
+    return value not in (float("inf"), float("-inf"))
+
+
+def convert_predicate(binder: Binder, expr: ast.BoolExpr) -> Predicate:
+    """Translate a boolean AST (without PROB terms) into a core predicate."""
+    if isinstance(expr, ast.CompareExpr):
+        left = _convert_operand(binder, expr.left)
+        right = _convert_operand(binder, expr.right)
+        if left[0] == "column" and right[0] == "column":
+            return Comparison(left[1], expr.op, col(right[1]))
+        if left[0] == "column":
+            return Comparison(left[1], expr.op, right[1])
+        if right[0] == "column":
+            return Comparison(right[1], _FLIP[expr.op], left[1])
+        raise QueryError("comparison between two literals is not supported")
+    if isinstance(expr, ast.IsNullExpr):
+        attr = binder.resolve(expr.column)
+        return IsNull(attr, negated=expr.negated)
+    if isinstance(expr, ast.AndExpr):
+        return And([convert_predicate(binder, p) for p in expr.parts])
+    if isinstance(expr, ast.OrExpr):
+        return Or([convert_predicate(binder, p) for p in expr.parts])
+    if isinstance(expr, ast.NotExpr):
+        return Not(convert_predicate(binder, expr.inner))
+    if isinstance(expr, ast.ProbExpr):
+        raise QueryError(
+            "PROB(...) may only appear as a top-level AND-connected condition"
+        )
+    raise QueryError(f"unsupported boolean expression {expr!r}")
+
+
+def _flatten_conjuncts(expr: ast.BoolExpr) -> List[ast.BoolExpr]:
+    """Recursively flatten nested ANDs (BETWEEN desugars into one)."""
+    if isinstance(expr, ast.AndExpr):
+        out: List[ast.BoolExpr] = []
+        for part in expr.parts:
+            out.extend(_flatten_conjuncts(part))
+        return out
+    return [expr]
+
+
+def split_where(
+    where: Optional[ast.BoolExpr],
+) -> Tuple[List[ast.BoolExpr], List[ast.ProbExpr]]:
+    """Split WHERE into value-level conjuncts and PROB conjuncts."""
+    if where is None:
+        return [], []
+    value_terms: List[ast.BoolExpr] = []
+    prob_terms: List[ast.ProbExpr] = []
+    for term in _flatten_conjuncts(where):
+        if isinstance(term, ast.ProbExpr):
+            prob_terms.append(term)
+        else:
+            value_terms.append(term)
+    return value_terms, prob_terms
+
+
+# ---------------------------------------------------------------------------
+# Access path selection
+# ---------------------------------------------------------------------------
+
+
+def _comparison_bound(term: ast.BoolExpr, binder: Binder):
+    """(attr, op, literal) for a column-vs-literal comparison, else None."""
+    if not isinstance(term, ast.CompareExpr):
+        return None
+    left, right = term.left, term.right
+    if isinstance(left, ast.ColumnExpr) and isinstance(right, ast.LiteralExpr):
+        if isinstance(right.value, (int, float)) and not isinstance(right.value, bool):
+            return binder.resolve(left), term.op, float(right.value)
+    if isinstance(right, ast.ColumnExpr) and isinstance(left, ast.LiteralExpr):
+        if isinstance(left.value, (int, float)) and not isinstance(left.value, bool):
+            return binder.resolve(right), _FLIP[term.op], float(left.value)
+    return None
+
+
+def _range_of(terms: List[ast.BoolExpr], binder: Binder, attr: str):
+    """The [lo, hi] interval implied by the conjuncts for one attribute."""
+    lo, hi = float("-inf"), float("inf")
+    found = False
+    for term in terms:
+        bound = _comparison_bound(term, binder)
+        if bound is None or bound[0] != attr:
+            continue
+        _, op, value = bound
+        if op in (">", ">="):
+            lo = max(lo, value)
+            found = True
+        elif op in ("<", "<="):
+            hi = min(hi, value)
+            found = True
+        elif op == "=":
+            lo, hi = max(lo, value), min(hi, value)
+            found = True
+    return (lo, hi) if found else None
+
+
+def choose_scan(
+    catalog: Catalog,
+    ref: ast.TableRef,
+    binder: Binder,
+    value_terms: List[ast.BoolExpr],
+    prob_terms: List[ast.ProbExpr],
+) -> Operator:
+    """Pick the cheapest available access path for one table."""
+    table = catalog.get_table(ref.name)
+    scan: Operator = SeqScan(table)
+
+    if not binder.qualify:
+        # Spatial index over a joint dependency set: needs a finite range on
+        # every indexed dimension.
+        for attrs in table.spatials:
+            windows = []
+            for attr in attrs:
+                bounds = _range_of(value_terms, binder, attr)
+                if bounds is None or not all(map(_finite, bounds)):
+                    break
+                windows.append(bounds)
+            else:
+                return SpatialScan(table, attrs, windows)
+        # B+tree on a certain column
+        for attr in table.btrees:
+            bounds = _range_of(value_terms, binder, attr)
+            if bounds is not None:
+                lo, hi = bounds
+                scan = BTreeScan(
+                    table,
+                    attr,
+                    lo=None if lo == float("-inf") else lo,
+                    hi=None if hi == float("inf") else hi,
+                )
+                break
+        else:
+            # PTI on an uncertain column: value-range conjuncts prune at
+            # threshold 0; a PROB term over the same attribute tightens it.
+            for attr in table.ptis:
+                bounds = _range_of(value_terms, binder, attr)
+                threshold = 0.0
+                if bounds is None:
+                    for prob in prob_terms:
+                        if prob.inner is None or prob.op not in (">", ">="):
+                            continue
+                        inner_terms = (
+                            prob.inner.parts
+                            if isinstance(prob.inner, ast.AndExpr)
+                            else [prob.inner]
+                        )
+                        inner_bounds = _range_of(list(inner_terms), binder, attr)
+                        if inner_bounds is not None and all(
+                            (b := _comparison_bound(term, binder)) is not None
+                            and b[0] == attr
+                            for term in inner_terms
+                        ):
+                            bounds = inner_bounds
+                            threshold = prob.threshold
+                            break
+                if bounds is not None:
+                    lo, hi = bounds
+                    if lo != float("-inf") or hi != float("inf"):
+                        scan = PtiScan(table, attr, lo, hi, threshold)
+                        break
+
+    if binder.qualify:
+        prefix = ref.binding
+        mapping = {
+            name: f"{prefix}.{name}"
+            for name in list(table.schema.visible_attrs) + sorted(table.schema.phantom_attrs)
+        }
+        scan = RenameOp(scan, mapping)
+    return scan
+
+
+# ---------------------------------------------------------------------------
+# SELECT planning
+# ---------------------------------------------------------------------------
+
+
+def plan_select(catalog: Catalog, stmt: ast.Select) -> Operator:
+    """Build the operator tree for a SELECT statement."""
+    binder = Binder(catalog, stmt.tables)
+    value_terms, prob_terms = split_where(stmt.where)
+    config = catalog.config
+    store = catalog.store
+
+    scans = [
+        choose_scan(catalog, ref, binder, value_terms, prob_terms)
+        for ref in stmt.tables
+    ]
+
+    # Conjuncts touching only certain attributes run first (cheap Case 1
+    # filtering); uncertain conjuncts run last so certain join keys are not
+    # needlessly absorbed into merged dependency sets.
+    uncertain_attrs = set()
+    for scan in scans:
+        uncertain_attrs |= set(scan.output_schema.uncertain_attrs)
+    certain_preds: List[Predicate] = []
+    uncertain_preds: List[Predicate] = []
+    for term in value_terms:
+        pred = convert_predicate(binder, term)
+        if pred.attrs() & uncertain_attrs:
+            uncertain_preds.append(pred)
+        else:
+            certain_preds.append(pred)
+
+    def _conjoin(preds: List[Predicate]) -> Predicate:
+        if not preds:
+            return TruePredicate()
+        return preds[0] if len(preds) == 1 else And(preds)
+
+    certain_pred = _conjoin(certain_preds)
+    uncertain_pred = _conjoin(uncertain_preds)
+
+    if len(scans) == 1:
+        plan = scans[0]
+        if certain_preds:
+            plan = Filter(plan, certain_pred, store, config)
+    elif len(scans) == 2 and (keys := _equi_join_keys(binder, value_terms, scans)) is not None:
+        plan = HashJoin(
+            scans[0], scans[1], keys[0], keys[1], certain_pred, store, config
+        )
+    else:
+        plan = scans[0]
+        for scan in scans[1:-1]:
+            plan = NestedLoopJoin(plan, scan, TruePredicate(), store, config)
+        plan = NestedLoopJoin(plan, scans[-1], certain_pred, store, config)
+    if uncertain_preds:
+        plan = Filter(plan, uncertain_pred, store, config)
+
+    for prob in prob_terms:
+        if prob.inner is None:
+            plan = ThresholdFilter(plan, None, prob.op, prob.threshold, store, config)
+        else:
+            inner_pred = convert_predicate(binder, prob.inner)
+            plan = ProbFilter(plan, inner_pred, prob.op, prob.threshold, store, config)
+
+    plan = _plan_select_list(plan, binder, stmt, store, config)
+
+    if stmt.distinct:
+        if any(item.aggregate is not None for item in stmt.items) or stmt.group_by:
+            raise QueryError("SELECT DISTINCT cannot be combined with aggregates")
+        plan = Distinct(plan, store, config)
+
+    if stmt.order_by_prob:
+        plan = SortByProbability(plan, store, descending=stmt.order_desc, config=config)
+    elif stmt.order_by:
+        plan = Sort(plan, [binder.resolve(c) for c in stmt.order_by], stmt.order_desc)
+    if stmt.limit is not None:
+        plan = Limit(plan, stmt.limit, offset=stmt.offset)
+    return plan
+
+
+def _equi_join_keys(
+    binder: Binder, value_terms: List[ast.BoolExpr], scans: List[Operator]
+) -> Optional[Tuple[str, str]]:
+    """Certain equi-join keys (left_attr, right_attr) for a 2-table query."""
+    left_schema, right_schema = scans[0].output_schema, scans[1].output_schema
+    for term in value_terms:
+        if not isinstance(term, ast.CompareExpr) or term.op != "=":
+            continue
+        if not (
+            isinstance(term.left, ast.ColumnExpr)
+            and isinstance(term.right, ast.ColumnExpr)
+        ):
+            continue
+        a = binder.resolve(term.left)
+        b = binder.resolve(term.right)
+        for left_attr, right_attr in ((a, b), (b, a)):
+            if (
+                left_schema.has_column(left_attr)
+                and not left_schema.is_uncertain(left_attr)
+                and right_schema.has_column(right_attr)
+                and not right_schema.is_uncertain(right_attr)
+            ):
+                return left_attr, right_attr
+    return None
+
+
+def _agg_specs(binder: Binder, items) -> List[AggSpec]:
+    specs = []
+    for item in items:
+        call = item.aggregate
+        attr = binder.resolve(call.column) if call.column is not None else None
+        specs.append(
+            AggSpec(call.func, attr, alias=call.alias, method=call.method or "auto")
+        )
+    return specs
+
+
+def _plan_select_list(
+    plan: Operator, binder: Binder, stmt: ast.Select, store, config
+) -> Operator:
+    aggregates = [item for item in stmt.items if item.aggregate is not None]
+    plain = [item for item in stmt.items if item.aggregate is None]
+
+    if stmt.group_by:
+        group_attrs = [binder.resolve(c) for c in stmt.group_by]
+        for item in plain:
+            if item.star:
+                raise QueryError("SELECT * cannot be combined with GROUP BY")
+            resolved = binder.resolve(item.column)
+            if resolved not in group_attrs:
+                raise QueryError(
+                    f"column {resolved!r} must appear in GROUP BY or an aggregate"
+                )
+        if not aggregates:
+            raise QueryError("GROUP BY without aggregates; use SELECT DISTINCT")
+        grouped = GroupAggregate(
+            plan, group_attrs, _agg_specs(binder, aggregates), store, config
+        )
+        # Project to the SELECT-list order (group cols may be a subset).
+        wanted = []
+        for item in stmt.items:
+            if item.aggregate is not None:
+                spec_attr = (
+                    binder.resolve(item.aggregate.column)
+                    if item.aggregate.column is not None
+                    else None
+                )
+                wanted.append(
+                    AggSpec(
+                        item.aggregate.func,
+                        spec_attr,
+                        alias=item.aggregate.alias,
+                    ).output_name
+                )
+            else:
+                wanted.append(binder.resolve(item.column))
+        if list(grouped.output_schema.visible_attrs) != wanted:
+            return Project(grouped, wanted, config)
+        return grouped
+
+    scalars = [item for item in stmt.items if item.scalar is not None]
+    plain = [item for item in plain if item.scalar is None]
+    if aggregates and scalars:
+        raise QueryError(
+            "cannot mix aggregates with per-row MEAN/VARIANCE/MASS calls"
+        )
+    if aggregates and any(not item.star for item in plain):
+        raise QueryError("cannot mix aggregates with plain columns (no GROUP BY)")
+    if aggregates and any(item.star for item in plain):
+        raise QueryError("cannot mix aggregates with *")
+
+    if aggregates:
+        return Aggregate(plan, _agg_specs(binder, aggregates), store, config)
+
+    scalar_names = {}
+    if scalars:
+        specs = []
+        for item in scalars:
+            call = item.scalar
+            resolved = binder.resolve(call.column)
+            name = call.alias or f"{call.func}_{resolved}".replace(".", "_")
+            specs.append((call.func, resolved, name))
+            scalar_names[id(item)] = name
+        plan = Scalarize(plan, specs)
+
+    if not scalars and all(item.star for item in stmt.items):
+        return plan
+
+    attrs = []
+    renames = {}
+    for item in stmt.items:
+        if item.star:
+            attrs.extend(a for a in binder.all_columns() if a not in attrs)
+            continue
+        if item.scalar is not None:
+            attrs.append(scalar_names[id(item)])
+            continue
+        resolved = binder.resolve(item.column)
+        if resolved in attrs:
+            raise QueryError(f"column {resolved!r} selected twice")
+        attrs.append(resolved)
+        if item.alias:
+            renames[resolved] = item.alias
+    projected = Project(plan, attrs, config)
+    if renames:
+        return RenameOp(projected, renames)
+    return projected

@@ -1,0 +1,37 @@
+"""Page-based storage: serialization, slotted pages, disks, buffer pool, heap files."""
+
+from .buffer import BufferPool, BufferStats
+from .disk import Disk, FileDisk, IoCounters, MemoryDisk
+from .heapfile import RID, HeapFile
+from .page import JumboPage, Page, PAGE_SIZE, page_capacity
+from .serialize import (
+    decode_pdf,
+    decode_tuple,
+    decode_value,
+    encode_pdf,
+    encode_tuple,
+    encode_value,
+    pdf_size,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "Page",
+    "JumboPage",
+    "page_capacity",
+    "Disk",
+    "MemoryDisk",
+    "FileDisk",
+    "IoCounters",
+    "BufferPool",
+    "BufferStats",
+    "HeapFile",
+    "RID",
+    "encode_value",
+    "decode_value",
+    "encode_pdf",
+    "decode_pdf",
+    "encode_tuple",
+    "decode_tuple",
+    "pdf_size",
+]

@@ -1,0 +1,99 @@
+"""Heap files: unordered collections of records across many pages.
+
+A heap file owns a list of page ids in its buffer pool.  Inserts fill the
+last non-full ordinary page, falling back to a new page; records larger
+than a page's capacity get a dedicated jumbo page.  Records are addressed
+by :class:`RID` (page id, slot) — the handles stored inside indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Tuple
+
+from ...errors import StorageError
+from .buffer import BufferPool
+from .page import page_capacity
+
+__all__ = ["RID", "HeapFile"]
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """Record identifier: (page id, slot number)."""
+
+    page_id: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RID({self.page_id}:{self.slot})"
+
+
+class HeapFile:
+    """An append-mostly record store over a buffer pool."""
+
+    def __init__(self, pool: BufferPool, name: str = ""):
+        self.pool = pool
+        self.name = name
+        self.page_ids: List[int] = []
+        self._page_set: Set[int] = set()
+        self._jumbo_pages: Set[int] = set()
+        self._record_count = 0
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_ids)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, record: bytes) -> RID:
+        """Store a record and return its RID."""
+        capacity = page_capacity(self.pool.disk.page_size)
+        if len(record) > capacity:
+            page_id = self.pool.new_page(jumbo_record=record)
+            self.page_ids.append(page_id)
+            self._page_set.add(page_id)
+            self._jumbo_pages.add(page_id)
+            self._record_count += 1
+            return RID(page_id, 0)
+
+        # Try the most recently used ordinary page first.
+        for page_id in reversed(self.page_ids[-2:]):
+            if page_id in self._jumbo_pages:
+                continue
+            page = self.pool.get_page(page_id)
+            if page.free_space() >= len(record):
+                slot = page.insert(record)
+                self._record_count += 1
+                return RID(page_id, slot)
+        page_id = self.pool.new_page()
+        self.page_ids.append(page_id)
+        self._page_set.add(page_id)
+        page = self.pool.get_page(page_id)
+        slot = page.insert(record)
+        self._record_count += 1
+        return RID(page_id, slot)
+
+    def read(self, rid: RID) -> bytes:
+        """Fetch a record by RID."""
+        if rid.page_id not in self._page_set:
+            raise StorageError(f"{rid!r} does not belong to heap file {self.name!r}")
+        return self.pool.get_page(rid.page_id).read(rid.slot)
+
+    def delete(self, rid: RID) -> None:
+        """Delete a record; its page space is not reclaimed."""
+        page = self.pool.get_page(rid.page_id)
+        page.delete(rid.slot)
+        self._record_count -= 1
+
+    # -- scans ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RID, bytes]]:
+        """Yield every live record in page order (the sequential scan)."""
+        for page_id in self.page_ids:
+            page = self.pool.get_page(page_id)
+            for slot, record in page.records():
+                yield RID(page_id, slot), record

@@ -1,0 +1,501 @@
+"""Binary serialization of certain values, pdfs, and probabilistic tuples.
+
+The paper's storage argument (Figures 4/5) hinges on representation size:
+a symbolic Gaussian costs two floats, a 5-bucket histogram six floats plus
+bucket masses, a 25-point discrete sampling fifty floats — and bigger
+records mean fewer tuples per page and more I/O.  This module defines the
+on-page format that realises those trade-offs:
+
+* values: 1-byte tag + fixed/variable payload,
+* pdfs: 1-byte type tag + the symbolic parameters (or the explicit
+  buckets/points for generic representations), recursively for composites
+  (floored, product, joint),
+* tuples: certain section + per-dependency-set pdf and lineage sections.
+
+Everything round-trips exactly (floats are stored as IEEE 754 doubles).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import SerializationError
+from ...pdf.base import Pdf
+from ...pdf.continuous import (
+    BetaPdf,
+    ExponentialPdf,
+    GammaPdf,
+    GaussianPdf,
+    LognormalPdf,
+    TriangularPdf,
+    UniformPdf,
+    WeibullPdf,
+)
+from ...pdf.discrete import (
+    BernoulliPdf,
+    BinomialPdf,
+    CategoricalPdf,
+    DiscretePdf,
+    GeometricPdf,
+    PoissonPdf,
+    code_label,
+)
+from ...pdf.floors import FlooredPdf
+from ...pdf.histogram import HistogramPdf
+from ...pdf.joint import (
+    ContinuousAxis,
+    DiscreteAxis,
+    JointDiscretePdf,
+    JointGaussianPdf,
+    JointGridPdf,
+    ProductPdf,
+)
+from ...pdf.regions import Interval, IntervalSet
+from ...core.history import AncestorLink, AncestorRef, Lineage
+from ...core.model import ProbabilisticTuple
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "encode_pdf",
+    "decode_pdf",
+    "encode_tuple",
+    "decode_tuple",
+    "pdf_size",
+]
+
+# -- value tags ----------------------------------------------------------------
+
+_V_NULL, _V_INT, _V_REAL, _V_BOOL, _V_TEXT = 0, 1, 2, 3, 4
+
+# -- pdf tags -------------------------------------------------------------------
+
+_P_NULL = 0
+_P_GAUSSIAN = 10
+_P_UNIFORM = 11
+_P_EXPONENTIAL = 12
+_P_TRIANGULAR = 13
+_P_GAMMA = 14
+_P_LOGNORMAL = 15
+_P_BETA = 16
+_P_WEIBULL = 17
+_P_DISCRETE = 20
+_P_CATEGORICAL = 21
+_P_BERNOULLI = 22
+_P_BINOMIAL = 23
+_P_POISSON = 24
+_P_GEOMETRIC = 25
+_P_HISTOGRAM = 30
+_P_FLOORED = 40
+_P_JOINT_DISCRETE = 50
+_P_JOINT_GAUSSIAN = 51
+_P_JOINT_GRID = 52
+_P_PRODUCT = 53
+
+
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise SerializationError(f"string too long to serialize ({len(raw)} bytes)")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(buf: bytes, off: int) -> Tuple[str, int]:
+    (n,) = struct.unpack_from("<H", buf, off)
+    off += 2
+    return buf[off : off + n].decode("utf-8"), off + n
+
+
+def _pack_floats(values) -> bytes:
+    arr = np.asarray(values, dtype="<f8")
+    return struct.pack("<I", arr.size) + arr.tobytes()
+
+
+def _unpack_floats(buf: bytes, off: int) -> Tuple[np.ndarray, int]:
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    arr = np.frombuffer(buf, dtype="<f8", count=n, offset=off).copy()
+    return arr, off + 8 * n
+
+
+# ---------------------------------------------------------------------------
+# Certain values
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: object) -> bytes:
+    """Encode one certain value (int / float / bool / str / None)."""
+    if value is None:
+        return bytes([_V_NULL])
+    if isinstance(value, bool):
+        return bytes([_V_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([_V_INT]) + struct.pack("<q", value)
+    if isinstance(value, float):
+        return bytes([_V_REAL]) + struct.pack("<d", value)
+    if isinstance(value, str):
+        return bytes([_V_TEXT]) + _pack_str(value)
+    raise SerializationError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def decode_value(buf: bytes, off: int = 0) -> Tuple[object, int]:
+    """Decode one value, returning (value, next offset)."""
+    tag = buf[off]
+    off += 1
+    if tag == _V_NULL:
+        return None, off
+    if tag == _V_BOOL:
+        return bool(buf[off]), off + 1
+    if tag == _V_INT:
+        (v,) = struct.unpack_from("<q", buf, off)
+        return v, off + 8
+    if tag == _V_REAL:
+        (v,) = struct.unpack_from("<d", buf, off)
+        return v, off + 8
+    if tag == _V_TEXT:
+        return _unpack_str(buf, off)
+    raise SerializationError(f"unknown value tag {tag}")
+
+
+# ---------------------------------------------------------------------------
+# Pdfs
+# ---------------------------------------------------------------------------
+
+_SYMBOLIC_CONTINUOUS = {
+    GaussianPdf: (_P_GAUSSIAN, ("mean", "variance")),
+    UniformPdf: (_P_UNIFORM, ("lo", "hi")),
+    ExponentialPdf: (_P_EXPONENTIAL, ("rate",)),
+    TriangularPdf: (_P_TRIANGULAR, ("lo", "mode", "hi")),
+    GammaPdf: (_P_GAMMA, ("shape", "rate")),
+    LognormalPdf: (_P_LOGNORMAL, ("mu", "sigma")),
+    BetaPdf: (_P_BETA, ("alpha", "beta")),
+    WeibullPdf: (_P_WEIBULL, ("shape", "scale")),
+}
+
+_SYMBOLIC_DISCRETE = {
+    BernoulliPdf: (_P_BERNOULLI, ("p",)),
+    BinomialPdf: (_P_BINOMIAL, ("n", "p")),
+    PoissonPdf: (_P_POISSON, ("rate",)),
+    GeometricPdf: (_P_GEOMETRIC, ("p",)),
+}
+
+_TAG_TO_SYMBOLIC = {
+    tag: (cls, fields)
+    for cls, (tag, fields) in {**_SYMBOLIC_CONTINUOUS, **_SYMBOLIC_DISCRETE}.items()
+}
+
+
+def _encode_interval_set(allowed: IntervalSet) -> bytes:
+    parts = [struct.pack("<I", len(allowed.intervals))]
+    for iv in allowed.intervals:
+        flags = (1 if iv.closed_lo else 0) | (2 if iv.closed_hi else 0)
+        parts.append(struct.pack("<ddB", iv.lo, iv.hi, flags))
+    return b"".join(parts)
+
+
+def _decode_interval_set(buf: bytes, off: int) -> Tuple[IntervalSet, int]:
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    intervals = []
+    for _ in range(n):
+        lo, hi, flags = struct.unpack_from("<ddB", buf, off)
+        off += 17
+        intervals.append(Interval(lo, hi, bool(flags & 1), bool(flags & 2)))
+    return IntervalSet(intervals), off
+
+
+def encode_pdf(pdf: Optional[Pdf]) -> bytes:
+    """Encode a pdf (or a NULL pdf) to bytes."""
+    if pdf is None:
+        return bytes([_P_NULL])
+
+    cls = type(pdf)
+    if cls in _SYMBOLIC_CONTINUOUS or cls in _SYMBOLIC_DISCRETE:
+        tag, fields = (_SYMBOLIC_CONTINUOUS.get(cls) or _SYMBOLIC_DISCRETE[cls])
+        params = pdf.params  # type: ignore[attr-defined]
+        body = _pack_str(pdf.attrs[0]) + struct.pack(
+            f"<{len(fields)}d", *(params[f] for f in fields)
+        )
+        return bytes([tag]) + body
+
+    if isinstance(pdf, CategoricalPdf):
+        parts = [bytes([_P_CATEGORICAL]), _pack_str(pdf.attrs[0])]
+        items = list(pdf.label_items())
+        parts.append(struct.pack("<I", len(items)))
+        for label, p in items:
+            parts.append(_pack_str(label) + struct.pack("<d", p))
+        return b"".join(parts)
+
+    if isinstance(pdf, DiscretePdf):
+        values, probs = pdf.values, pdf.probs
+        return (
+            bytes([_P_DISCRETE])
+            + _pack_str(pdf.attrs[0])
+            + _pack_floats(values)
+            + _pack_floats(probs)
+        )
+
+    if isinstance(pdf, HistogramPdf):
+        return (
+            bytes([_P_HISTOGRAM])
+            + _pack_str(pdf.attrs[0])
+            + _pack_floats(pdf.edges)
+            + _pack_floats(pdf.masses)
+        )
+
+    if isinstance(pdf, FlooredPdf):
+        return bytes([_P_FLOORED]) + _encode_interval_set(pdf.allowed) + encode_pdf(pdf.base)
+
+    if isinstance(pdf, JointDiscretePdf):
+        parts = [bytes([_P_JOINT_DISCRETE]), struct.pack("<H", len(pdf.attrs))]
+        parts.extend(_pack_str(a) for a in pdf.attrs)
+        items = list(pdf.items())
+        parts.append(struct.pack("<I", len(items)))
+        for key, p in items:
+            parts.append(struct.pack(f"<{len(key)}d", *key) + struct.pack("<d", p))
+        return b"".join(parts)
+
+    if isinstance(pdf, JointGaussianPdf):
+        parts = [bytes([_P_JOINT_GAUSSIAN]), struct.pack("<H", len(pdf.attrs))]
+        parts.extend(_pack_str(a) for a in pdf.attrs)
+        parts.append(_pack_floats(pdf.mean_vec))
+        parts.append(_pack_floats(pdf.cov.reshape(-1)))
+        return b"".join(parts)
+
+    if isinstance(pdf, JointGridPdf):
+        parts = [bytes([_P_JOINT_GRID]), struct.pack("<H", len(pdf.axes))]
+        for axis in pdf.axes:
+            if isinstance(axis, ContinuousAxis):
+                parts.append(bytes([0]) + _pack_str(axis.attr) + _pack_floats(axis.edges))
+            elif isinstance(axis, DiscreteAxis):
+                parts.append(bytes([1]) + _pack_str(axis.attr) + _pack_floats(axis.values))
+            else:  # pragma: no cover - defensive
+                raise SerializationError(f"unknown axis type {type(axis).__name__}")
+        parts.append(_pack_floats(pdf.masses.reshape(-1)))
+        return b"".join(parts)
+
+    if isinstance(pdf, ProductPdf):
+        parts = [
+            bytes([_P_PRODUCT]),
+            struct.pack("<d", pdf.weight),
+            struct.pack("<H", len(pdf.factors)),
+        ]
+        parts.extend(encode_pdf(f) for f in pdf.factors)
+        return b"".join(parts)
+
+    raise SerializationError(f"cannot serialize pdf of type {cls.__name__}")
+
+
+def decode_pdf(buf: bytes, off: int = 0) -> Tuple[Optional[Pdf], int]:
+    """Decode a pdf, returning (pdf_or_None, next offset)."""
+    tag = buf[off]
+    off += 1
+    if tag == _P_NULL:
+        return None, off
+
+    if tag in _TAG_TO_SYMBOLIC:
+        cls, fields = _TAG_TO_SYMBOLIC[tag]
+        attr, off = _unpack_str(buf, off)
+        values = struct.unpack_from(f"<{len(fields)}d", buf, off)
+        off += 8 * len(fields)
+        kwargs = dict(zip(fields, values))
+        if cls is BinomialPdf:
+            kwargs["n"] = int(kwargs["n"])
+        return cls(attr=attr, **kwargs), off  # type: ignore[arg-type]
+
+    if tag == _P_CATEGORICAL:
+        attr, off = _unpack_str(buf, off)
+        (n,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        pairs: Dict[str, float] = {}
+        for _ in range(n):
+            label, off = _unpack_str(buf, off)
+            (p,) = struct.unpack_from("<d", buf, off)
+            off += 8
+            pairs[label] = p
+        return CategoricalPdf(pairs, attr=attr), off
+
+    if tag == _P_DISCRETE:
+        attr, off = _unpack_str(buf, off)
+        values, off = _unpack_floats(buf, off)
+        probs, off = _unpack_floats(buf, off)
+        # Encoded values are already sorted/validated: take the fast path.
+        return DiscretePdf._from_arrays(values, probs, attr), off
+
+    if tag == _P_HISTOGRAM:
+        attr, off = _unpack_str(buf, off)
+        edges, off = _unpack_floats(buf, off)
+        masses, off = _unpack_floats(buf, off)
+        return HistogramPdf._from_arrays(edges, masses, attr), off
+
+    if tag == _P_FLOORED:
+        allowed, off = _decode_interval_set(buf, off)
+        base, off = decode_pdf(buf, off)
+        if base is None:
+            raise SerializationError("floored pdf with NULL base")
+        return FlooredPdf(base, allowed), off  # type: ignore[arg-type]
+
+    if tag == _P_JOINT_DISCRETE:
+        (k,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        attrs = []
+        for _ in range(k):
+            a, off = _unpack_str(buf, off)
+            attrs.append(a)
+        (n,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        table: Dict[Tuple[float, ...], float] = {}
+        for _ in range(n):
+            key = struct.unpack_from(f"<{k}d", buf, off)
+            off += 8 * k
+            (p,) = struct.unpack_from("<d", buf, off)
+            off += 8
+            table[key] = p
+        return JointDiscretePdf(attrs, table), off
+
+    if tag == _P_JOINT_GAUSSIAN:
+        (k,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        attrs = []
+        for _ in range(k):
+            a, off = _unpack_str(buf, off)
+            attrs.append(a)
+        mean, off = _unpack_floats(buf, off)
+        cov_flat, off = _unpack_floats(buf, off)
+        return JointGaussianPdf(attrs, mean, cov_flat.reshape(k, k)), off
+
+    if tag == _P_JOINT_GRID:
+        (k,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        axes = []
+        for _ in range(k):
+            kind = buf[off]
+            off += 1
+            attr, off = _unpack_str(buf, off)
+            data, off = _unpack_floats(buf, off)
+            axes.append(
+                ContinuousAxis(attr, data) if kind == 0 else DiscreteAxis(attr, data)
+            )
+        flat, off = _unpack_floats(buf, off)
+        shape = tuple(a.size for a in axes)
+        return JointGridPdf(tuple(axes), flat.reshape(shape)), off
+
+    if tag == _P_PRODUCT:
+        (weight,) = struct.unpack_from("<d", buf, off)
+        off += 8
+        (n,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        factors = []
+        for _ in range(n):
+            f, off = decode_pdf(buf, off)
+            if f is None:
+                raise SerializationError("product pdf with NULL factor")
+            factors.append(f)
+        return ProductPdf(factors, weight=weight), off
+
+    raise SerializationError(f"unknown pdf tag {tag}")
+
+
+def pdf_size(pdf: Optional[Pdf]) -> int:
+    """Serialized size in bytes (the storage-cost metric of Figure 5)."""
+    return len(encode_pdf(pdf))
+
+
+# ---------------------------------------------------------------------------
+# Tuples
+# ---------------------------------------------------------------------------
+
+
+def _encode_lineage(lineage: Lineage) -> bytes:
+    parts = [struct.pack("<H", len(lineage))]
+    for link in sorted(lineage, key=lambda l: (l.ref.tuple_id, tuple(sorted(l.ref.attrs)))):
+        parts.append(struct.pack("<q", link.ref.tuple_id))
+        attrs = sorted(link.ref.attrs)
+        parts.append(struct.pack("<H", len(attrs)))
+        parts.extend(_pack_str(a) for a in attrs)
+        parts.append(struct.pack("<H", len(link.mapping)))
+        for base, current in link.mapping:
+            parts.append(_pack_str(base) + _pack_str(current))
+    return b"".join(parts)
+
+
+def _decode_lineage(buf: bytes, off: int) -> Tuple[Lineage, int]:
+    (n,) = struct.unpack_from("<H", buf, off)
+    off += 2
+    links = []
+    for _ in range(n):
+        (tuple_id,) = struct.unpack_from("<q", buf, off)
+        off += 8
+        (k,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        attrs = []
+        for _ in range(k):
+            a, off = _unpack_str(buf, off)
+            attrs.append(a)
+        (m,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        mapping = []
+        for _ in range(m):
+            base, off = _unpack_str(buf, off)
+            current, off = _unpack_str(buf, off)
+            mapping.append((base, current))
+        links.append(AncestorLink(AncestorRef(tuple_id, frozenset(attrs)), tuple(mapping)))
+    return frozenset(links), off
+
+
+def encode_tuple(t: ProbabilisticTuple, store_lineage: bool = True) -> bytes:
+    """Encode a probabilistic tuple (certain values + pdfs + histories).
+
+    ``store_lineage=False`` omits the history section — the storage half of
+    the Figure 6 "without histories" baseline.
+    """
+    parts = [struct.pack("<q", t.tuple_id)]
+    certain = sorted(t.certain.items())
+    parts.append(struct.pack("<H", len(certain)))
+    for name, value in certain:
+        parts.append(_pack_str(name) + encode_value(value))
+    deps = sorted(t.pdfs.items(), key=lambda kv: tuple(sorted(kv[0])))
+    parts.append(struct.pack("<H", len(deps)))
+    for dep, pdf in deps:
+        attrs = sorted(dep)
+        parts.append(struct.pack("<H", len(attrs)))
+        parts.extend(_pack_str(a) for a in attrs)
+        parts.append(encode_pdf(pdf))
+        if store_lineage:
+            parts.append(_encode_lineage(t.lineage.get(dep, frozenset())))
+        else:
+            parts.append(struct.pack("<H", 0))
+    return b"".join(parts)
+
+
+def decode_tuple(buf: bytes, off: int = 0) -> Tuple[ProbabilisticTuple, int]:
+    """Decode a probabilistic tuple, returning (tuple, next offset)."""
+    (tuple_id,) = struct.unpack_from("<q", buf, off)
+    off += 8
+    (n_certain,) = struct.unpack_from("<H", buf, off)
+    off += 2
+    certain = {}
+    for _ in range(n_certain):
+        name, off = _unpack_str(buf, off)
+        value, off = decode_value(buf, off)
+        certain[name] = value
+    (n_deps,) = struct.unpack_from("<H", buf, off)
+    off += 2
+    pdfs: Dict[FrozenSet[str], Optional[Pdf]] = {}
+    lineage: Dict[FrozenSet[str], Lineage] = {}
+    for _ in range(n_deps):
+        (k,) = struct.unpack_from("<H", buf, off)
+        off += 2
+        attrs = []
+        for _ in range(k):
+            a, off = _unpack_str(buf, off)
+            attrs.append(a)
+        dep = frozenset(attrs)
+        pdf, off = decode_pdf(buf, off)
+        lin, off = _decode_lineage(buf, off)
+        pdfs[dep] = pdf
+        lineage[dep] = lin
+    return ProbabilisticTuple(tuple_id, certain, pdfs, lineage), off

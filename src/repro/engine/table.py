@@ -1,0 +1,228 @@
+"""Persistent tables: probabilistic tuples stored in heap files.
+
+A :class:`Table` is the engine's counterpart of a base
+:class:`~repro.core.model.ProbabilisticRelation`: the same probabilistic
+schema and history registration, but tuples are serialized onto slotted
+pages behind a buffer pool, and secondary indexes (B+tree over certain
+columns, probability-threshold index over uncertain ones) are maintained on
+every insert and delete.
+
+``store_lineage=False`` turns off history persistence — the storage half of
+the paper's Figure 6 "without histories" baseline (queries over such a
+table silently treat all pdfs as independent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from ..errors import CatalogError, QueryError, SchemaError
+from ..core.history import HistoryStore
+from ..core.model import (
+    CertainValue,
+    ProbabilisticSchema,
+    ProbabilisticTuple,
+    build_base_tuple,
+)
+from ..pdf.base import Pdf, UnivariatePdf
+from .index.btree import BPlusTree
+from .index.pti import ProbabilityThresholdIndex
+from .index.spatial import SpatialGridIndex
+from .storage.buffer import BufferPool
+from .storage.heapfile import HeapFile, RID
+from .storage.serialize import decode_tuple, encode_tuple
+
+__all__ = ["Table"]
+
+
+class Table:
+    """One on-disk probabilistic table with optional secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: ProbabilisticSchema,
+        pool: BufferPool,
+        store: HistoryStore,
+        store_lineage: bool = True,
+    ):
+        self.name = name
+        self.schema = schema
+        self.pool = pool
+        self.store = store
+        self.store_lineage = store_lineage
+        self.heap = HeapFile(pool, name=name)
+        self.btrees: Dict[str, BPlusTree] = {}
+        self.ptis: Dict[str, ProbabilityThresholdIndex] = {}
+        self.spatials: Dict[Tuple[str, ...], SpatialGridIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    # -- data modification ---------------------------------------------------
+
+    def insert(
+        self,
+        certain: Optional[Mapping[str, CertainValue]] = None,
+        uncertain: Optional[Mapping[Union[str, Tuple[str, ...]], Optional[Pdf]]] = None,
+    ) -> RID:
+        """Insert one base tuple; ancestors are registered in the store."""
+        t = build_base_tuple(self.schema, self.store, certain, uncertain)
+        rid = self.heap.insert(encode_tuple(t, store_lineage=self.store_lineage))
+        self._index_insert(rid, t)
+        return rid
+
+    def insert_tuple(self, t: ProbabilisticTuple, acquire: bool = True) -> RID:
+        """Insert an already-built tuple (used to materialize query results).
+
+        Acquires references to the tuple's ancestors so that deleting base
+        data later keeps them alive as phantom nodes.
+        """
+        if acquire:
+            for lin in t.lineage.values():
+                if lin:
+                    self.store.acquire(lin)
+        rid = self.heap.insert(encode_tuple(t, store_lineage=self.store_lineage))
+        self._index_insert(rid, t)
+        return rid
+
+    def delete(self, rid: RID) -> None:
+        """Delete a base tuple; referenced pdfs become phantom nodes."""
+        t = self.read(rid)
+        self.heap.delete(rid)
+        self._index_delete(rid, t)
+        for lin in t.lineage.values():
+            if lin:
+                self.store.release(lin)
+        self.store.delete_base_tuple(t.tuple_id)
+
+    # -- access ------------------------------------------------------------------
+
+    def read(self, rid: RID) -> ProbabilisticTuple:
+        """Fetch and decode one tuple."""
+        t, _ = decode_tuple(self.heap.read(rid))
+        return t
+
+    def scan(self) -> Iterator[Tuple[RID, ProbabilisticTuple]]:
+        """Sequential scan in page order."""
+        for rid, record in self.heap.scan():
+            t, _ = decode_tuple(record)
+            yield rid, t
+
+    # -- indexes --------------------------------------------------------------------
+
+    def create_btree_index(self, attr: str, order: int = 64) -> BPlusTree:
+        """Create (and backfill) a B+tree over a certain column."""
+        if not self.schema.has_column(attr):
+            raise CatalogError(f"table {self.name!r} has no column {attr!r}")
+        if self.schema.is_uncertain(attr):
+            raise QueryError(
+                f"column {attr!r} is uncertain; create a probability-threshold index"
+            )
+        if attr in self.btrees:
+            raise CatalogError(f"index on {self.name}.{attr} already exists")
+        tree = BPlusTree(order=order)
+        for rid, t in self.scan():
+            value = t.certain.get(attr)
+            if value is not None:
+                tree.insert(value, rid)
+        self.btrees[attr] = tree
+        return tree
+
+    def create_pti_index(self, attr: str) -> ProbabilityThresholdIndex:
+        """Create (and backfill) a probability-threshold index on an uncertain column."""
+        if not self.schema.has_column(attr):
+            raise CatalogError(f"table {self.name!r} has no column {attr!r}")
+        if not self.schema.is_uncertain(attr):
+            raise QueryError(f"column {attr!r} is certain; create a B+tree index")
+        if attr in self.ptis:
+            raise CatalogError(f"index on {self.name}.{attr} already exists")
+        index = ProbabilityThresholdIndex(attr)
+        for rid, t in self.scan():
+            marginal = self._index_marginal(t, attr)
+            if marginal is not None:
+                index.insert(rid, marginal)
+        self.ptis[attr] = index
+        return index
+
+    def create_spatial_index(
+        self, attrs: Tuple[str, ...], cell_size: float = 10.0
+    ) -> SpatialGridIndex:
+        """Create (and backfill) a spatial grid index over a joint dependency set."""
+        attrs = tuple(attrs)
+        for attr in attrs:
+            if not self.schema.has_column(attr):
+                raise CatalogError(f"table {self.name!r} has no column {attr!r}")
+        dep = self.schema.dependency_set_of(attrs[0])
+        if dep is None or not set(attrs) <= dep:
+            raise QueryError(
+                f"spatial index columns {list(attrs)} must belong to one joint "
+                "dependency set"
+            )
+        if attrs in self.spatials:
+            raise CatalogError(f"spatial index on {self.name}{list(attrs)} already exists")
+        index = SpatialGridIndex(attrs, cell_size=cell_size)
+        for rid, t in self.scan():
+            pdf = self._spatial_pdf(t, attrs)
+            if pdf is not None:
+                index.insert(rid, pdf)
+        self.spatials[attrs] = index
+        return index
+
+    def _spatial_pdf(self, t: ProbabilisticTuple, attrs: Tuple[str, ...]):
+        dep = t.dependency_set_of(attrs[0])
+        if dep is None:
+            return None
+        pdf = t.pdfs.get(dep)
+        if pdf is None:
+            return None
+        if set(pdf.attrs) != set(attrs):
+            return pdf.marginalize(list(attrs))
+        return pdf
+
+    def _index_marginal(self, t: ProbabilisticTuple, attr: str) -> Optional[UnivariatePdf]:
+        dep = t.dependency_set_of(attr)
+        if dep is None:
+            return None
+        pdf = t.pdfs.get(dep)
+        if pdf is None:
+            return None
+        marginal = pdf.marginalize([attr])
+        return marginal if isinstance(marginal, UnivariatePdf) else None
+
+    def _index_insert(self, rid: RID, t: ProbabilisticTuple) -> None:
+        for attr, tree in self.btrees.items():
+            value = t.certain.get(attr)
+            if value is not None:
+                tree.insert(value, rid)
+        for attr, pti in self.ptis.items():
+            marginal = self._index_marginal(t, attr)
+            if marginal is not None:
+                pti.insert(rid, marginal)
+        for attrs, spatial in self.spatials.items():
+            pdf = self._spatial_pdf(t, attrs)
+            if pdf is not None:
+                spatial.insert(rid, pdf)
+
+    def _index_delete(self, rid: RID, t: ProbabilisticTuple) -> None:
+        for attr, tree in self.btrees.items():
+            value = t.certain.get(attr)
+            if value is not None:
+                tree.delete(value, rid)
+        for pti in self.ptis.values():
+            pti.delete(rid)
+        for spatial in self.spatials.values():
+            spatial.delete(rid)
+
+    # -- statistics ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "rows": len(self.heap),
+            "pages": self.heap.num_pages,
+            "btree_indexes": len(self.btrees),
+            "pti_indexes": len(self.ptis),
+        }
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.heap)} rows, {self.heap.num_pages} pages)"

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro probabilistic database.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class.  Engine-level errors (storage, SQL) and model-level errors
+(schema, pdf) have their own subtrees.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or dependency specification is invalid."""
+
+
+class PdfError(ReproError):
+    """A probability distribution is invalid or an operation on it failed."""
+
+
+class InvalidDistributionError(PdfError):
+    """Distribution parameters are out of range (e.g. negative variance)."""
+
+
+class DimensionMismatchError(PdfError):
+    """Two pdfs or a pdf and a region disagree on their attribute sets."""
+
+
+class HistoryError(ReproError):
+    """Ancestor/history bookkeeping was violated (e.g. dangling reference)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed with respect to the schema or the model."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The requested operation is not supported for this pdf or operator."""
+
+
+class EngineError(ReproError):
+    """Base class for storage/execution engine errors."""
+
+
+class StorageError(EngineError):
+    """A page, heap file, or buffer pool invariant was violated."""
+
+
+class SerializationError(EngineError):
+    """A value or pdf could not be encoded to / decoded from bytes."""
+
+
+class CatalogError(EngineError):
+    """A table or index name is unknown or already exists."""
+
+
+class SqlError(EngineError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlLexError(SqlError):
+    """The SQL text contains an unrecognised token."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlParseError(SqlError):
+    """The SQL token stream does not match the grammar."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlBindError(SqlError):
+    """A SQL identifier does not resolve against the catalog."""
+
+
+class IndexError_(EngineError):
+    """A B-tree or uncertainty-index invariant was violated."""

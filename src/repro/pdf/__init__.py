@@ -1,0 +1,122 @@
+"""Probability distributions for uncertain attributes.
+
+This package is the substrate beneath the probabilistic relational model:
+symbolic continuous and discrete distributions, generic histogram and
+discrete-sampling representations, symbolic floors, joint distributions, and
+the conversions between them.  See :mod:`repro.pdf.base` for the common
+interface.
+"""
+
+from .arithmetic import affine, convolve_discrete, convolve_histograms, sum_independent
+from .base import DEFAULT_GRID, GridSpec, Pdf, UnivariatePdf
+from .continuous import (
+    BetaPdf,
+    ContinuousPdf,
+    ExponentialPdf,
+    GammaPdf,
+    GaussianPdf,
+    LognormalPdf,
+    TriangularPdf,
+    UniformPdf,
+    WeibullPdf,
+)
+from .convert import discretize, fit_gaussian, pdfs_allclose, to_histogram
+from .discrete import (
+    BernoulliPdf,
+    BinomialPdf,
+    CategoricalPdf,
+    DiscretePdf,
+    GeometricPdf,
+    PoissonPdf,
+    SymbolicDiscretePdf,
+    code_label,
+    label_code,
+)
+from .floors import FlooredPdf
+from .metrics import cdf_distance, kl_divergence, mixture, total_variation
+from .histogram import HistogramPdf
+from .joint import (
+    Axis,
+    ContinuousAxis,
+    DiscreteAxis,
+    JointDiscretePdf,
+    JointGaussianPdf,
+    JointGridPdf,
+    ProductPdf,
+    as_joint_discrete,
+    independent_product,
+)
+from .regions import (
+    BoxRegion,
+    ComplementRegion,
+    Interval,
+    IntervalSet,
+    IntersectionRegion,
+    PredicateRegion,
+    Region,
+    UnionRegion,
+)
+
+__all__ = [
+    # base
+    "Pdf",
+    "UnivariatePdf",
+    "GridSpec",
+    "DEFAULT_GRID",
+    # regions
+    "Interval",
+    "IntervalSet",
+    "Region",
+    "BoxRegion",
+    "PredicateRegion",
+    "UnionRegion",
+    "IntersectionRegion",
+    "ComplementRegion",
+    # continuous
+    "ContinuousPdf",
+    "GaussianPdf",
+    "UniformPdf",
+    "ExponentialPdf",
+    "TriangularPdf",
+    "GammaPdf",
+    "LognormalPdf",
+    "BetaPdf",
+    "WeibullPdf",
+    # discrete
+    "DiscretePdf",
+    "CategoricalPdf",
+    "SymbolicDiscretePdf",
+    "BernoulliPdf",
+    "BinomialPdf",
+    "PoissonPdf",
+    "GeometricPdf",
+    "label_code",
+    "code_label",
+    # histogram / floors
+    "HistogramPdf",
+    "FlooredPdf",
+    # joint
+    "Axis",
+    "ContinuousAxis",
+    "DiscreteAxis",
+    "JointGridPdf",
+    "JointDiscretePdf",
+    "JointGaussianPdf",
+    "ProductPdf",
+    "independent_product",
+    "as_joint_discrete",
+    # conversion / arithmetic
+    "discretize",
+    "to_histogram",
+    "fit_gaussian",
+    "pdfs_allclose",
+    "affine",
+    "convolve_discrete",
+    "convolve_histograms",
+    "sum_independent",
+    # metrics / mixtures
+    "total_variation",
+    "kl_divergence",
+    "cdf_distance",
+    "mixture",
+]

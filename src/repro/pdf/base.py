@@ -1,0 +1,220 @@
+"""Abstract interfaces for probability distributions (pdfs).
+
+The paper's model stores *uncertain attributes* as probability density /
+mass functions.  A pdf in this library is always a distribution over a
+named, ordered tuple of attributes (:attr:`Pdf.attrs`), which is what lets
+the relational operators marginalise, join, and floor distributions by
+attribute name.
+
+Two properties distinguish these pdfs from textbook ones:
+
+* **Partial pdfs** (Section II-B): the total mass may be less than 1.  Under
+  the closed-world reading, ``1 - mass`` is the probability that the owning
+  tuple does not exist.  All operations preserve partial mass.
+* **Floors** (Section III-A): selection zeroes a pdf over the region that
+  fails the predicate.  :meth:`Pdf.restrict` keeps a region (the paper's
+  ``floor`` removes one — :meth:`Pdf.floor_out` matches the paper's
+  signature).
+
+Concrete families:
+
+===============================  ==============================================
+:mod:`repro.pdf.continuous`      symbolic continuous (Gaussian, Uniform, ...)
+:mod:`repro.pdf.discrete`        explicit and symbolic discrete distributions
+:mod:`repro.pdf.histogram`       1-D bucket histograms (the paper's ``Hist``)
+:mod:`repro.pdf.floors`          symbolic floors over symbolic pdfs
+:mod:`repro.pdf.joint`           joint distributions and independent products
+===============================  ==============================================
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, PdfError, UnsupportedOperationError
+from .regions import Region
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .joint import JointGridPdf
+
+__all__ = ["GridSpec", "Pdf", "UnivariatePdf", "DEFAULT_GRID", "MASS_TOLERANCE"]
+
+#: Probability-mass slack tolerated before declaring a pdf invalid or a
+#: tuple nonexistent.  Grid collapses introduce error of this order.
+MASS_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Controls how symbolic pdfs collapse to grid form.
+
+    ``resolution``
+        Number of cells per continuous dimension.
+    ``tail_mass``
+        Probability mass allowed to be clipped from each unbounded tail when
+        choosing finite grid bounds (bounds are taken at the
+        ``tail_mass`` / ``1 - tail_mass`` quantiles).
+    """
+
+    resolution: int = 64
+    tail_mass: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.resolution < 1:
+            raise PdfError("grid resolution must be >= 1")
+        if not 0 < self.tail_mass < 0.5:
+            raise PdfError("tail_mass must be in (0, 0.5)")
+
+
+DEFAULT_GRID = GridSpec()
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class Pdf(abc.ABC):
+    """A (possibly partial) probability distribution over named attributes.
+
+    Subclasses must populate :attr:`attrs` — the ordered attribute names —
+    and implement the abstract operations below.  All probabilistic
+    quantities are *unconditional*: they already include the partial-mass
+    existence factor.
+    """
+
+    attrs: Tuple[str, ...]
+
+    # -- structural --------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes the pdf is defined over."""
+        return len(self.attrs)
+
+    @property
+    @abc.abstractmethod
+    def is_discrete(self) -> bool:
+        """True when every dimension is discrete (a probability *mass* fn)."""
+
+    @abc.abstractmethod
+    def with_attrs(self, attrs: Sequence[str]) -> "Pdf":
+        """Return a copy with attributes renamed positionally."""
+
+    def rename(self, mapping: Mapping[str, str]) -> "Pdf":
+        """Return a copy with attributes renamed via ``mapping``."""
+        return self.with_attrs([mapping.get(a, a) for a in self.attrs])
+
+    def _require_attrs(self, attrs: Sequence[str]) -> None:
+        unknown = [a for a in attrs if a not in self.attrs]
+        if unknown:
+            raise DimensionMismatchError(
+                f"pdf over {self.attrs} has no attributes {unknown}"
+            )
+
+    # -- probabilistic core --------------------------------------------------
+
+    @abc.abstractmethod
+    def mass(self) -> float:
+        """Total probability mass; < 1 for partial pdfs (missing tuples)."""
+
+    @abc.abstractmethod
+    def density(self, assignment: Mapping[str, ArrayLike]) -> np.ndarray:
+        """Evaluate the (joint) density/mass function.
+
+        Continuous dimensions contribute density, discrete dimensions
+        contribute point mass; arrays broadcast element-wise.
+        """
+
+    @abc.abstractmethod
+    def prob(self, region: Region) -> float:
+        """P(X in region), including the existence factor."""
+
+    @abc.abstractmethod
+    def restrict(self, region: Region) -> "Pdf":
+        """Zero the pdf outside ``region`` (keep mass inside).
+
+        This is the complement view of the paper's ``floor`` primitive and
+        generally yields a partial pdf.
+        """
+
+    def floor_out(self, region: Region) -> "Pdf":
+        """The paper's ``floor(f, F)``: zero the pdf *inside* ``region``."""
+        return self.restrict(region.complement())
+
+    @abc.abstractmethod
+    def marginalize(self, attrs: Sequence[str]) -> "Pdf":
+        """The paper's ``marginalize``: integrate out all but ``attrs``.
+
+        The result preserves total mass and orders attributes as given.
+        """
+
+    # -- support / conversion -------------------------------------------------
+
+    @abc.abstractmethod
+    def support(self) -> Dict[str, Tuple[float, float]]:
+        """A per-attribute bounding interval containing (almost) all mass."""
+
+    @abc.abstractmethod
+    def to_grid(self, spec: GridSpec = DEFAULT_GRID) -> "JointGridPdf":
+        """Collapse to the universal dense grid representation."""
+
+    def normalized(self) -> "Pdf":
+        """The conditional distribution given existence (mass scaled to 1)."""
+        m = self.mass()
+        if m <= MASS_TOLERANCE:
+            raise PdfError("cannot normalize a pdf with (near-)zero mass")
+        if abs(m - 1.0) <= MASS_TOLERANCE:
+            return self
+        return self._scaled(1.0 / m)
+
+    def _scaled(self, factor: float) -> "Pdf":
+        """Multiply all mass by ``factor`` (subclasses override when cheap)."""
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not support scaling; collapse via "
+            "to_grid() first"
+        )
+
+    # -- sampling -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> Dict[str, np.ndarray]:
+        """Draw ``n`` samples *conditional on existence*.
+
+        Returns one array per attribute.  Use :meth:`mass` separately to
+        sample the existence event of a partial pdf.
+        """
+
+
+class UnivariatePdf(Pdf):
+    """Convenience base class for one-dimensional pdfs.
+
+    Adds the scalar helpers (:meth:`cdf`, :meth:`pdf_at`, :meth:`mean`,
+    :meth:`variance`) used throughout the range-query machinery, and exact
+    probability over interval sets.
+    """
+
+    def __init__(self, attr: str = "x"):
+        self.attrs = (str(attr),)
+
+    @property
+    def attr(self) -> str:
+        """The single attribute name."""
+        return self.attrs[0]
+
+    @abc.abstractmethod
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        """Unconditional cumulative mass P(X <= x and exists)."""
+
+    def pdf_at(self, x: ArrayLike) -> np.ndarray:
+        """Density / point mass at ``x`` (1-D shortcut for :meth:`density`)."""
+        return self.density({self.attr: x})
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Mean of the distribution conditional on existence."""
+
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Variance of the distribution conditional on existence."""

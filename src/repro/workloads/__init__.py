@@ -1,0 +1,43 @@
+"""Synthetic workload generators matching the paper's experimental setup."""
+
+from .annotations import (
+    AnnotatedToken,
+    DEFAULT_LABELS,
+    annotations_schema,
+    generate_annotations,
+    load_annotations_relation,
+)
+from .moving_objects import (
+    MovingObject,
+    generate_moving_objects,
+    load_objects_relation,
+    objects_schema,
+)
+from .sensors import (
+    RangeQuery,
+    Reading,
+    generate_range_queries,
+    generate_readings,
+    load_readings_relation,
+    make_readings,
+    readings_schema,
+)
+
+__all__ = [
+    "Reading",
+    "RangeQuery",
+    "generate_readings",
+    "generate_range_queries",
+    "make_readings",
+    "readings_schema",
+    "load_readings_relation",
+    "MovingObject",
+    "generate_moving_objects",
+    "objects_schema",
+    "load_objects_relation",
+    "AnnotatedToken",
+    "DEFAULT_LABELS",
+    "generate_annotations",
+    "annotations_schema",
+    "load_annotations_relation",
+]

@@ -1,0 +1,105 @@
+"""Text-annotation workload: categorical (discrete) uncertainty.
+
+The introduction motivates the model with text annotation — "annotations
+are rarely perfect".  This generator produces annotated tokens where each
+annotation is a categorical distribution over entity labels, with a
+configurable probability that the annotator's top choice is uncertain.
+Partial masses model tokens that may carry no entity at all (tuple
+uncertainty via partial pdfs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.model import Column, DataType, ProbabilisticRelation, ProbabilisticSchema
+from ..pdf.discrete import CategoricalPdf
+
+__all__ = [
+    "AnnotatedToken",
+    "DEFAULT_LABELS",
+    "generate_annotations",
+    "annotations_schema",
+    "load_annotations_relation",
+]
+
+DEFAULT_LABELS: Sequence[str] = ("person", "place", "organization", "date", "other")
+
+
+@dataclass(frozen=True)
+class AnnotatedToken:
+    """One token: document position plus a categorical label distribution."""
+
+    token_id: int
+    doc_id: int
+    label_probs: Dict[str, float]
+
+    @property
+    def pdf(self) -> CategoricalPdf:
+        return CategoricalPdf(self.label_probs)
+
+    @property
+    def exists_prob(self) -> float:
+        return sum(self.label_probs.values())
+
+
+def generate_annotations(
+    n: int,
+    seed: int = 0,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    ambiguous_fraction: float = 0.4,
+    missing_fraction: float = 0.1,
+) -> List[AnnotatedToken]:
+    """``n`` annotated tokens.
+
+    ``ambiguous_fraction`` of the tokens spread probability over two or
+    three labels; ``missing_fraction`` carry a partial pdf (the annotator
+    believes the token may not be an entity at all).
+    """
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        doc_id = int(rng.integers(1, max(n // 20, 2)))
+        chosen = rng.permutation(len(labels))
+        if rng.random() < ambiguous_fraction:
+            k = int(rng.integers(2, 4))
+            raw = rng.dirichlet(np.ones(k) * 2.0)
+        else:
+            k = 1
+            raw = np.array([1.0])
+        scale = 1.0
+        if rng.random() < missing_fraction:
+            scale = float(rng.uniform(0.5, 0.95))
+        probs = {
+            labels[chosen[j]]: float(raw[j] * scale) for j in range(k) if raw[j] * scale > 0
+        }
+        out.append(AnnotatedToken(i + 1, doc_id, probs))
+    return out
+
+
+def annotations_schema() -> ProbabilisticSchema:
+    """``Annotations(token_id, doc_id, label)`` with uncertain label."""
+    return ProbabilisticSchema(
+        [
+            Column("token_id", DataType.INT),
+            Column("doc_id", DataType.INT),
+            Column("label", DataType.TEXT),
+        ],
+        [{"label"}],
+    )
+
+
+def load_annotations_relation(
+    tokens: List[AnnotatedToken], name: str = "annotations"
+) -> ProbabilisticRelation:
+    """Materialise annotated tokens as an in-memory probabilistic relation."""
+    rel = ProbabilisticRelation(annotations_schema(), name=name)
+    for token in tokens:
+        rel.insert(
+            certain={"token_id": token.token_id, "doc_id": token.doc_id},
+            uncertain={"label": token.pdf},
+        )
+    return rel

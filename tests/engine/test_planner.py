@@ -1,0 +1,142 @@
+"""Planner tests: plan shapes via EXPLAIN for every feature."""
+
+import pytest
+
+from repro import Database
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE r (rid INT, site TEXT, value REAL UNCERTAIN)")
+    db.execute(
+        "INSERT INTO r VALUES (1, 'a', GAUSSIAN(10, 1)), (2, 'b', GAUSSIAN(50, 1))"
+    )
+    db.execute("CREATE TABLE s (sid INT, name TEXT)")
+    db.execute("INSERT INTO s VALUES (1, 'x'), (2, 'y')")
+    return db
+
+
+def plan(db, sql):
+    return db.execute("EXPLAIN " + sql).plan_text
+
+
+class TestAccessPaths:
+    def test_seq_scan_default(self, db):
+        assert "SeqScan(r)" in plan(db, "SELECT * FROM r")
+
+    def test_btree_chosen_for_certain_range(self, db):
+        db.execute("CREATE INDEX ON r (rid)")
+        text = plan(db, "SELECT rid FROM r WHERE rid > 1")
+        assert "BTreeScan" in text and "SeqScan" not in text
+
+    def test_btree_equality(self, db):
+        db.execute("CREATE INDEX ON r (rid)")
+        assert "BTreeScan(r.rid in [2.0, 2.0])" in plan(db, "SELECT rid FROM r WHERE rid = 2")
+
+    def test_pti_chosen_for_uncertain_range(self, db):
+        db.execute("CREATE PROB INDEX ON r (value)")
+        text = plan(db, "SELECT rid FROM r WHERE value > 5 AND value < 15")
+        assert "PtiScan" in text
+
+    def test_pti_not_used_without_range(self, db):
+        db.execute("CREATE PROB INDEX ON r (value)")
+        text = plan(db, "SELECT rid FROM r WHERE site = 'a'")
+        assert "PtiScan" not in text
+
+    def test_no_index_scan_in_multi_table_queries(self, db):
+        db.execute("CREATE INDEX ON r (rid)")
+        text = plan(db, "SELECT a.rid FROM r a, s b WHERE a.rid = b.sid")
+        assert "BTreeScan" not in text
+
+
+class TestPredicateSplit:
+    def test_certain_filter_below_uncertain(self, db):
+        text = plan(db, "SELECT rid FROM r WHERE site = 'a' AND value > 5")
+        lines = text.splitlines()
+        certain_idx = next(i for i, l in enumerate(lines) if "site" in l)
+        uncertain_idx = next(i for i, l in enumerate(lines) if "value" in l)
+        # Deeper in the tree = larger index; certain runs first (below).
+        assert certain_idx > uncertain_idx
+
+    def test_prob_terms_become_filters(self, db):
+        text = plan(db, "SELECT rid FROM r WHERE PROB(value > 5) >= 0.5")
+        assert "ProbFilter" in text
+
+    def test_prob_star_becomes_threshold_filter(self, db):
+        text = plan(db, "SELECT rid FROM r WHERE PROB(*) >= 0.5")
+        assert "ThresholdFilter" in text
+
+
+class TestJoins:
+    def test_hash_join_for_certain_equi(self, db):
+        text = plan(db, "SELECT a.rid FROM r a, s b WHERE a.rid = b.sid")
+        assert "HashJoin" in text
+
+    def test_nested_loop_without_equi_key(self, db):
+        text = plan(db, "SELECT a.rid FROM r a, s b WHERE a.rid < b.sid")
+        assert "NestedLoopJoin" in text
+
+    def test_three_tables_left_deep(self, db):
+        db.execute("CREATE TABLE t3 (k INT)")
+        text = plan(db, "SELECT a.rid FROM r a, s b, t3 c")
+        assert text.count("NestedLoopJoin") == 2
+
+    def test_aliases_produce_renames(self, db):
+        text = plan(db, "SELECT a.rid FROM r a, s b")
+        assert "Rename" in text
+
+
+class TestSelectList:
+    def test_projection(self, db):
+        assert "Project(rid)" in plan(db, "SELECT rid FROM r")
+
+    def test_star_no_projection(self, db):
+        assert "Project" not in plan(db, "SELECT * FROM r")
+
+    def test_alias_rename_on_top(self, db):
+        text = plan(db, "SELECT rid AS k FROM r")
+        assert "Rename(rid->k)" in text
+
+    def test_aggregate_plan(self, db):
+        text = plan(db, "SELECT COUNT(*), EXPECTED(value) FROM r")
+        assert "Aggregate(COUNT(*)" in text
+
+    def test_group_plan(self, db):
+        text = plan(db, "SELECT site, COUNT(*) FROM r GROUP BY site")
+        assert "GroupAggregate(by site" in text
+
+    def test_scalarize_plan(self, db):
+        text = plan(db, "SELECT rid, MEAN(value) FROM r")
+        assert "Scalarize(MEAN(value) AS mean_value)" in text
+
+    def test_distinct_plan(self, db):
+        text = plan(db, "SELECT DISTINCT site FROM r")
+        assert "Distinct" in text
+
+    def test_sort_limit_order(self, db):
+        text = plan(db, "SELECT rid FROM r ORDER BY rid LIMIT 1")
+        lines = text.splitlines()
+        assert "Limit" in lines[0]
+        assert "Sort" in lines[1]
+
+    def test_top_k_plan(self, db):
+        text = plan(db, "SELECT rid FROM r ORDER BY PROB(*) DESC LIMIT 1")
+        assert "SortByProbability(DESC)" in text
+
+
+class TestPlannerValidation:
+    def test_order_by_uncertain_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("SELECT rid FROM r ORDER BY value")
+
+    def test_duplicate_aliases_rejected(self, db):
+        from repro.errors import SqlBindError
+
+        with pytest.raises(SqlBindError):
+            db.execute("SELECT x.rid FROM r x, s x")
+
+    def test_column_selected_twice_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("SELECT rid, rid FROM r")

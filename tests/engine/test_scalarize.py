@@ -1,0 +1,80 @@
+"""Per-row scalarisation tests: MEAN / VARIANCE / MASS in the SELECT list."""
+
+import pytest
+
+from repro import Database
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)")
+    db.execute(
+        "INSERT INTO readings VALUES (1, GAUSSIAN(20, 5)), (2, UNIFORM(0, 10)), "
+        "(3, NULL)"
+    )
+    return db
+
+
+class TestScalarFunctions:
+    def test_mean(self, db):
+        rows = db.execute("SELECT rid, MEAN(value) FROM readings").to_dicts()
+        by_rid = {r["rid"]: r["mean_value"] for r in rows}
+        assert by_rid[1] == pytest.approx(20.0)
+        assert by_rid[2] == pytest.approx(5.0)
+        assert by_rid[3] is None
+
+    def test_variance(self, db):
+        rows = db.execute("SELECT rid, VARIANCE(value) FROM readings").to_dicts()
+        by_rid = {r["rid"]: r["variance_value"] for r in rows}
+        assert by_rid[1] == pytest.approx(5.0)
+        assert by_rid[2] == pytest.approx(100 / 12)
+
+    def test_mass_after_selection(self, db):
+        rows = db.execute(
+            "SELECT rid, MASS(value) FROM readings WHERE value > 5"
+        ).to_dicts()
+        by_rid = {r["rid"]: r["mass_value"] for r in rows}
+        assert by_rid[2] == pytest.approx(0.5)
+        assert by_rid[1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_alias(self, db):
+        result = db.execute("SELECT MEAN(value) AS mu FROM readings")
+        assert result.columns == ["mu"]
+
+    def test_mixed_with_columns_and_star(self, db):
+        result = db.execute("SELECT *, MASS(value) FROM readings")
+        assert result.columns == ["rid", "value", "mass_value"]
+
+    def test_output_is_certain(self, db):
+        result = db.execute("SELECT rid, MEAN(value) FROM readings")
+        assert not result.schema.is_uncertain("mean_value")
+
+    def test_scalar_on_certain_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("SELECT MEAN(rid) FROM readings")
+
+    def test_scalar_with_aggregate_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("SELECT MEAN(value), COUNT(*) FROM readings")
+
+    def test_scalar_in_join(self, db):
+        db.execute("CREATE TABLE names (nid INT, label TEXT)")
+        db.execute("INSERT INTO names VALUES (1, 'a'), (2, 'b')")
+        rows = db.execute(
+            "SELECT n.label, MEAN(r.value) FROM names n, readings r "
+            "WHERE n.nid = r.rid"
+        ).to_dicts()
+        by_label = {r["n.label"]: r["mean_r_value"] for r in rows}
+        assert by_label["a"] == pytest.approx(20.0)
+
+    def test_joint_attribute_scalarizes_marginal(self):
+        db = Database()
+        db.execute("CREATE TABLE o (oid INT, x REAL, y REAL, DEPENDENCY (x, y))")
+        db.execute(
+            "INSERT INTO o VALUES (1, JOINT_GAUSSIAN([3, 7], [[1, 0.5], [0.5, 2]]))"
+        )
+        rows = db.execute("SELECT MEAN(x), MEAN(y) FROM o").to_dicts()
+        assert rows[0]["mean_x"] == pytest.approx(3.0)
+        assert rows[0]["mean_y"] == pytest.approx(7.0)

@@ -1,0 +1,160 @@
+"""Spatial grid index tests: soundness, maintenance, SQL integration."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.engine.index.spatial import SpatialGridIndex
+from repro.engine.storage.heapfile import RID
+from repro.errors import IndexError_, QueryError
+from repro.pdf import JointGaussianPdf
+from repro.workloads import generate_moving_objects
+
+
+def _rid(i):
+    return RID(i, 0)
+
+
+class TestSpatialGridIndex:
+    def _index_with_objects(self, objects):
+        index = SpatialGridIndex(("x", "y"), cell_size=10.0)
+        for i, obj in enumerate(objects):
+            index.insert(_rid(i), obj.pdf)
+        return index
+
+    def test_candidates_sound(self):
+        """Never prunes an object with support overlapping the window."""
+        objects = generate_moving_objects(80, seed=3)
+        index = self._index_with_objects(objects)
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            x0 = float(rng.uniform(0, 90))
+            y0 = float(rng.uniform(0, 90))
+            window = [(x0, x0 + 15), (y0, y0 + 15)]
+            cands = set(index.candidates(window))
+            for i, obj in enumerate(objects):
+                support = obj.pdf.support()
+                overlaps = all(
+                    support[a][0] <= hi and support[a][1] >= lo
+                    for a, (lo, hi) in zip(("x", "y"), window)
+                )
+                if overlaps:
+                    assert _rid(i) in cands, (i, window)
+
+    def test_pruning_happens(self):
+        objects = generate_moving_objects(80, seed=3)
+        index = self._index_with_objects(objects)
+        assert index.selectivity([(0, 10), (0, 10)]) < 0.5
+
+    def test_delete(self):
+        index = SpatialGridIndex(("x", "y"))
+        pdf = JointGaussianPdf(("x", "y"), [5, 5], [[1, 0], [0, 1]])
+        index.insert(_rid(0), pdf)
+        assert index.candidates([(0, 10), (0, 10)]) == [_rid(0)]
+        assert index.delete(_rid(0))
+        assert not index.delete(_rid(0))
+        assert index.candidates([(0, 10), (0, 10)]) == []
+        assert index._cells == {}  # buckets cleaned up
+
+    def test_empty_window(self):
+        index = SpatialGridIndex(("x", "y"))
+        index.insert(_rid(0), JointGaussianPdf(("x", "y"), [0, 0], [[1, 0], [0, 1]]))
+        assert index.candidates([(5, 4), (0, 1)]) == []
+
+    def test_candidates_within_ball(self):
+        index = SpatialGridIndex(("x", "y"), cell_size=5.0)
+        near = JointGaussianPdf(("x", "y"), [1, 1], [[0.5, 0], [0, 0.5]])
+        far = JointGaussianPdf(("x", "y"), [50, 50], [[0.5, 0], [0, 0.5]])
+        index.insert(_rid(0), near)
+        index.insert(_rid(1), far)
+        cands = index.candidates_within([0.0, 0.0], 5.0)
+        assert _rid(0) in cands and _rid(1) not in cands
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            SpatialGridIndex(("x",))
+        with pytest.raises(IndexError_):
+            SpatialGridIndex(("x", "y"), cell_size=0)
+        index = SpatialGridIndex(("x", "y"))
+        with pytest.raises(IndexError_):
+            index.candidates([(0, 1)])  # dimension mismatch
+
+
+class TestSpatialSql:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE o (oid INT, x REAL, y REAL, DEPENDENCY (x, y))")
+        for obj in generate_moving_objects(40, seed=8):
+            db.table("o").insert(
+                certain={"oid": obj.oid}, uncertain={("x", "y"): obj.pdf}
+            )
+        return db
+
+    def test_plan_uses_spatial_scan(self, db):
+        db.execute("CREATE SPATIAL INDEX ON o (x, y)")
+        plan = db.execute(
+            "EXPLAIN SELECT oid FROM o WHERE x BETWEEN 30 AND 50 AND y BETWEEN 30 AND 50"
+        ).plan_text
+        assert "SpatialScan" in plan
+
+    def test_answers_agree_with_seqscan(self, db):
+        sql = (
+            "SELECT oid, MASS(x) FROM o "
+            "WHERE x BETWEEN 30 AND 50 AND y BETWEEN 30 AND 50"
+        )
+        base = {r["oid"]: r["mass_x"] for r in db.execute(sql).to_dicts()}
+        db.execute("CREATE SPATIAL INDEX ON o (x, y)")
+        indexed = {r["oid"]: r["mass_x"] for r in db.execute(sql).to_dicts()}
+        assert base == pytest.approx(indexed)
+
+    def test_partial_window_falls_back(self, db):
+        db.execute("CREATE SPATIAL INDEX ON o (x, y)")
+        # Only x is bounded: the 2-D index cannot serve it.
+        plan = db.execute(
+            "EXPLAIN SELECT oid FROM o WHERE x BETWEEN 30 AND 50"
+        ).plan_text
+        assert "SpatialScan" not in plan
+
+    def test_index_maintained_on_insert_delete(self, db):
+        db.execute("CREATE SPATIAL INDEX ON o (x, y)")
+        db.execute(
+            "INSERT INTO o VALUES (99, JOINT_GAUSSIAN([200, 200], [[1, 0], [0, 1]]))"
+        )
+        rows = db.execute(
+            "SELECT oid FROM o WHERE x BETWEEN 195 AND 205 AND y BETWEEN 195 AND 205"
+        ).to_dicts()
+        assert [r["oid"] for r in rows] == [99]
+        db.execute("DELETE FROM o WHERE oid = 99")
+        rows = db.execute(
+            "SELECT oid FROM o WHERE x BETWEEN 195 AND 205 AND y BETWEEN 195 AND 205"
+        ).to_dicts()
+        assert rows == []
+
+    def test_spatial_index_on_independent_columns_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a REAL UNCERTAIN, b REAL UNCERTAIN)")
+        with pytest.raises(QueryError):
+            db.execute("CREATE SPATIAL INDEX ON t (a, b)")
+
+    def test_single_column_spatial_rejected(self, db):
+        from repro.errors import SqlParseError
+
+        with pytest.raises(SqlParseError):
+            db.execute("CREATE SPATIAL INDEX ON o (x)")
+
+    def test_multi_column_plain_index_rejected(self, db):
+        from repro.errors import SqlParseError
+
+        with pytest.raises(SqlParseError):
+            db.execute("CREATE INDEX ON o (x, y)")
+
+    def test_snapshot_roundtrip(self, db, tmp_path):
+        db.execute("CREATE SPATIAL INDEX ON o (x, y)")
+        path = str(tmp_path / "spatial.rpdb")
+        db.save(path)
+        db2 = Database.open(path)
+        plan = db2.execute(
+            "EXPLAIN SELECT oid FROM o WHERE x BETWEEN 30 AND 50 AND y BETWEEN 30 AND 50"
+        ).plan_text
+        assert "SpatialScan" in plan

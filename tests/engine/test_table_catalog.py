@@ -1,0 +1,150 @@
+"""Table and catalog tests: persistence, indexes, history integration."""
+
+import pytest
+
+from repro.core import Column, DataType, ProbabilisticSchema
+from repro.engine.catalog import Catalog
+from repro.engine.storage.disk import FileDisk, MemoryDisk
+from repro.errors import CatalogError, QueryError
+from repro.pdf import DiscretePdf, GaussianPdf, JointGaussianPdf
+
+
+def _readings_schema():
+    return ProbabilisticSchema(
+        [Column("rid", DataType.INT), Column("value", DataType.REAL)], [{"value"}]
+    )
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(buffer_capacity=16)
+
+
+@pytest.fixture
+def table(catalog):
+    t = catalog.create_table("readings", _readings_schema())
+    t.insert(certain={"rid": 1}, uncertain={"value": GaussianPdf(20, 5)})
+    t.insert(certain={"rid": 2}, uncertain={"value": GaussianPdf(25, 4)})
+    t.insert(certain={"rid": 3}, uncertain={"value": GaussianPdf(13, 1)})
+    return t
+
+
+class TestTable:
+    def test_insert_scan_roundtrip(self, table):
+        rows = list(table.scan())
+        assert len(rows) == 3
+        _, t = rows[0]
+        assert t.certain["rid"] == 1
+        assert t.pdf_of_attr("value").params["mean"] == 20.0
+
+    def test_read_by_rid(self, table):
+        rid, t0 = next(iter(table.scan()))
+        assert table.read(rid).tuple_id == t0.tuple_id
+
+    def test_lineage_persisted(self, table):
+        _, t = next(iter(table.scan()))
+        (link,) = t.lineage[frozenset({"value"})]
+        assert link.ref in table.store
+
+    def test_lineage_omitted_when_disabled(self):
+        catalog = Catalog(store_lineage=False)
+        t = catalog.create_table("r", _readings_schema())
+        t.insert(certain={"rid": 1}, uncertain={"value": GaussianPdf(0, 1)})
+        _, row = next(iter(t.scan()))
+        assert row.lineage[frozenset({"value"})] == frozenset()
+
+    def test_delete_phantomizes_history(self, table):
+        rid, t = next(iter(table.scan()))
+        store = table.store
+        # Simulate an outstanding derived reference.
+        lineage = t.lineage[frozenset({"value"})]
+        store.acquire(lineage)
+        table.delete(rid)
+        (link,) = lineage
+        assert store.is_phantom(link.ref)
+        assert len(table) == 2
+
+    def test_btree_index_maintained(self, table):
+        tree = table.create_btree_index("rid")
+        assert len(tree.search(2)) == 1
+        rid4 = table.insert(certain={"rid": 4}, uncertain={"value": GaussianPdf(1, 1)})
+        assert tree.search(4) == [rid4]
+        table.delete(rid4)
+        assert tree.search(4) == []
+
+    def test_btree_on_uncertain_rejected(self, table):
+        with pytest.raises(QueryError):
+            table.create_btree_index("value")
+
+    def test_pti_index_maintained(self, table):
+        pti = table.create_pti_index("value")
+        assert len(pti) == 3
+        rid4 = table.insert(certain={"rid": 4}, uncertain={"value": GaussianPdf(90, 1)})
+        assert rid4 in pti.candidates(85, 95)
+        table.delete(rid4)
+        assert rid4 not in pti.candidates(85, 95)
+
+    def test_pti_on_certain_rejected(self, table):
+        with pytest.raises(QueryError):
+            table.create_pti_index("rid")
+
+    def test_duplicate_index_rejected(self, table):
+        table.create_btree_index("rid")
+        with pytest.raises(CatalogError):
+            table.create_btree_index("rid")
+
+    def test_joint_attr_pti(self, catalog):
+        schema = ProbabilisticSchema(
+            [Column("oid", DataType.INT), Column("x"), Column("y")], [{"x", "y"}]
+        )
+        t = catalog.create_table("objects", schema)
+        t.insert(
+            certain={"oid": 1},
+            uncertain={("x", "y"): JointGaussianPdf(("x", "y"), [5, 5], [[1, 0.5], [0.5, 1]])},
+        )
+        pti = t.create_pti_index("x")
+        assert len(pti) == 1
+        assert pti.candidates(4, 6) != []
+
+    def test_stats(self, table):
+        stats = table.stats()
+        assert stats["rows"] == 3
+        assert stats["pages"] >= 1
+
+
+class TestCatalog:
+    def test_create_get_drop(self, catalog):
+        catalog.create_table("t", _readings_schema())
+        assert catalog.has_table("T")  # case-insensitive
+        catalog.get_table("t")
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.create_table("t", _readings_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", _readings_schema())
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_table("nope")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("nope")
+
+    def test_drop_releases_history(self, catalog):
+        t = catalog.create_table("t", _readings_schema())
+        t.insert(certain={"rid": 1}, uncertain={"value": GaussianPdf(0, 1)})
+        assert len(catalog.store) == 1
+        catalog.drop_table("t")
+        assert len(catalog.store) == 0
+
+    def test_file_backed_catalog(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "db.bin"))
+        catalog = Catalog(disk=disk, buffer_capacity=2)
+        t = catalog.create_table("r", _readings_schema())
+        for i in range(300):
+            t.insert(certain={"rid": i}, uncertain={"value": GaussianPdf(i, 1)})
+        values = sorted(row.certain["rid"] for _, row in t.scan())
+        assert values == list(range(300))
+        assert disk.counters.reads > 0  # buffer pressure forced real reads
+        disk.close()

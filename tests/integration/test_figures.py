@@ -1,0 +1,99 @@
+"""Shape tests for the paper's figures (tiny parameters, assertions on trends)."""
+
+import pytest
+
+from repro.bench.figures import (
+    fig4_accuracy,
+    fig5_discretized_performance,
+    fig6_history_overhead,
+)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def data(self):
+        headers, rows = fig4_accuracy(
+            sample_sizes=(2, 5, 10, 25), n_pdfs=30, n_queries=30, seed=7
+        )
+        return headers, {int(r[0]): r[1:] for r in rows}
+
+    def test_histogram_beats_discrete_at_every_size(self, data):
+        headers, by_size = data
+        for size, (hist_err, _, disc_err, _) in by_size.items():
+            if size >= 5:
+                assert hist_err < disc_err, size
+
+    def test_errors_shrink_with_size(self, data):
+        headers, by_size = data
+        sizes = sorted(by_size)
+        hist_errors = [by_size[s][0] for s in sizes]
+        disc_errors = [by_size[s][2] for s in sizes]
+        assert hist_errors[0] > hist_errors[-1]
+        assert disc_errors[0] > disc_errors[-1]
+
+    def test_paper_hist5_accuracy_band(self, data):
+        """The paper: ~5 buckets give accuracy around ±0.01 probability mass."""
+        headers, by_size = data
+        assert by_size[5][0] < 0.02
+
+    def test_paper_disc25_comparable_to_hist5(self, data):
+        """The paper: discrete needs >25 points to reach hist-5 accuracy."""
+        headers, by_size = data
+        assert by_size[25][2] < 2 * by_size[5][0]
+
+    def test_discrete_error_variance_higher(self, data):
+        headers, by_size = data
+        for size in (5, 10, 25):
+            hist_std = by_size[size][1]
+            disc_std = by_size[size][3]
+            assert disc_std > hist_std, size
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def data(self):
+        headers, rows = fig5_discretized_performance(
+            tuple_counts=(200, 800), n_queries=4, buffer_pages=64, seed=11
+        )
+        return headers, rows
+
+    def test_discrete_has_most_io(self, data):
+        headers, rows = data
+        idx = {h: i for i, h in enumerate(headers)}
+        for row in rows:
+            assert row[idx["disc25_io"]] > row[idx["hist5_io"]]
+            assert row[idx["hist5_io"]] > row[idx["symbolic_io"]]
+
+    def test_discrete_cost_rises_steepest(self, data):
+        headers, rows = data
+        idx = {h: i for i, h in enumerate(headers)}
+        small, large = rows[0], rows[-1]
+        disc_growth = large[idx["disc25_cost"]] / small[idx["disc25_cost"]]
+        hist_growth = large[idx["hist5_cost"]] / small[idx["hist5_cost"]]
+        assert disc_growth > hist_growth
+
+    def test_symbolic_cheapest_at_scale(self, data):
+        headers, rows = data
+        idx = {h: i for i, h in enumerate(headers)}
+        large = rows[-1]
+        assert large[idx["symbolic_cost"]] < large[idx["disc25_cost"]]
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def data(self):
+        headers, rows = fig6_history_overhead(tuple_counts=(100, 200), seed=23)
+        return headers, rows
+
+    def test_history_join_is_slower(self, data):
+        headers, rows = data
+        idx = {h: i for i, h in enumerate(headers)}
+        for row in rows:
+            assert row[idx["join_hist_s"]] > row[idx["join_nohist_s"]] * 0.9
+
+    def test_overhead_is_bounded(self, data):
+        """Correctness costs something, but not an order of magnitude."""
+        headers, rows = data
+        idx = {h: i for i, h in enumerate(headers)}
+        for row in rows:
+            assert -10.0 < row[idx["overhead_pct"]] < 150.0
