@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.bench.figures import _build_database
+from repro.bench.protocol import cold_start
 from repro.bench.reporting import print_figure
 from repro.workloads import generate_readings
 
@@ -42,7 +43,7 @@ def bench_range_query_seqscan(benchmark):
     db = _fresh_db(with_index=False)
 
     def run():
-        db.catalog.pool.clear()
+        cold_start(db)
         return _selective_queries(db)
 
     benchmark(run)
@@ -52,7 +53,7 @@ def bench_range_query_pti(benchmark):
     db = _fresh_db(with_index=True)
 
     def run():
-        db.catalog.pool.clear()
+        cold_start(db)
         return _selective_queries(db)
 
     benchmark(run)
@@ -65,8 +66,7 @@ def bench_ablation_a4_report(benchmark, capsys):
         out = []
         for with_index in (False, True):
             db = _fresh_db(with_index)
-            db.catalog.pool.clear()
-            db.reset_io_stats()
+            cold_start(db)
             t0 = time.perf_counter()
             rows = _selective_queries(db)
             elapsed = time.perf_counter() - t0

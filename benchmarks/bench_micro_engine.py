@@ -1,14 +1,27 @@
-"""Micro-benchmarks of the engine substrate: serialization, storage, indexes.
+"""Micro-benchmarks of the engine substrate: serialization, storage, indexes,
+and the batched execution pipeline.
 
 These do not map to a paper figure; they document where the reproduction's
 constant factors come from (useful when comparing against the paper's
-absolute numbers — see EXPERIMENTS.md).
+absolute numbers — see EXPERIMENTS.md).  The batch-size sweep additionally
+writes ``BENCH_engine.json`` at the repo root with the scalar-vs-batch
+speedups and pdf-op cache hit rates (see docs/PERFORMANCE.md).
 
 Run: ``pytest benchmarks/bench_micro_engine.py --benchmark-only -q``
 """
 
+import json
+import random
+import time
+from pathlib import Path
+
 import pytest
 
+from repro.bench.protocol import pdf_cache_stats
+from repro.core import Column, DataType, ProbabilisticRelation, ProbabilisticSchema
+from repro.core.operations import PDF_OP_CACHE
+from repro.core.predicates import And, Comparison
+from repro.engine.executor import Filter, RelationScan
 from repro.engine.index.btree import BPlusTree
 from repro.engine.storage.buffer import BufferPool
 from repro.engine.storage.disk import MemoryDisk
@@ -106,3 +119,122 @@ def bench_btree_range_scan(benchmark):
     for i in range(2000):
         tree.insert(i, RID(i, 0))
     benchmark(lambda: sum(1 for _ in tree.range_scan(500, 1500)))
+
+
+# ---------------------------------------------------------------------------
+# Batched execution pipeline: Gaussian range selection, batch-size sweep
+# ---------------------------------------------------------------------------
+
+SWEEP_N = 4000
+BATCH_SIZES = (1, 32, 256, 1024)
+
+
+def _gaussian_relation(n=SWEEP_N, seed=7):
+    rng = random.Random(seed)
+    schema = ProbabilisticSchema(
+        [Column("sid", DataType.INT), Column("temp", DataType.REAL)], [{"temp"}]
+    )
+    rel = ProbabilisticRelation(schema, name="sensors")
+    for i in range(n):
+        rel.insert(
+            certain={"sid": i},
+            uncertain={
+                "temp": GaussianPdf(
+                    rng.uniform(10, 30), rng.uniform(0.5, 4.0), attr="temp"
+                )
+            },
+        )
+    return rel
+
+
+def _best_of(fn, repeats=5):
+    """Minimum wall time and last result of ``repeats`` cold runs."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_batch_pipeline_sweep(benchmark, capsys):
+    """Scalar vs batched Gaussian range selection; writes BENCH_engine.json.
+
+    The result sets must be bitwise identical across all batch sizes, and
+    batch >= 256 must deliver >= 3x the scalar throughput (the batching
+    acceptance bar — see docs/PERFORMANCE.md).
+    """
+    rel = _gaussian_relation()
+    pred = And([Comparison("temp", ">", 18.0), Comparison("temp", "<", 24.0)])
+
+    def make_plan():
+        return Filter(RelationScan(rel), pred, rel.store)
+
+    def scalar_run():
+        PDF_OP_CACHE.reset()  # cold pdf-op cache per run
+        return list(make_plan())
+
+    def batch_run(size):
+        PDF_OP_CACHE.reset()
+        return [t for b in make_plan().batches(size) for t in b.tuples]
+
+    def run():
+        scalar_t, scalar_rows = _best_of(scalar_run)
+        scalar_key = [(t.tuple_id, t.certain["sid"]) for t in scalar_rows]
+        variants = []
+        for size in BATCH_SIZES:
+            bt, rows = _best_of(lambda: batch_run(size))
+            cold_stats = pdf_cache_stats()
+            assert [(t.tuple_id, t.certain["sid"]) for t in rows] == scalar_key
+            PDF_OP_CACHE.hits = 0  # warm protocol: keep entries, zero counters
+            PDF_OP_CACHE.misses = 0
+            warm_t0 = time.perf_counter()
+            batch_run_warm = [t for b in make_plan().batches(size) for t in b.tuples]
+            warm_t = time.perf_counter() - warm_t0
+            assert len(batch_run_warm) == len(scalar_rows)
+            variants.append(
+                {
+                    "batch_size": size,
+                    "seconds": bt,
+                    "speedup": scalar_t / bt,
+                    "cold_cache": cold_stats,
+                    "warm_seconds": warm_t,
+                    "warm_cache": pdf_cache_stats(),
+                }
+            )
+        return {
+            "workload": "gaussian_range_selection",
+            "tuples": SWEEP_N,
+            "result_rows": len(scalar_rows),
+            "scalar_seconds": scalar_t,
+            "variants": variants,
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        from repro.bench.reporting import print_figure
+
+        print_figure(
+            "Batched pipeline: Gaussian range selection (scalar baseline "
+            f"{report['scalar_seconds'] * 1000:.2f} ms)",
+            ["batch_size", "seconds", "speedup", "warm_hit_rate"],
+            [
+                [
+                    v["batch_size"],
+                    v["seconds"],
+                    v["speedup"],
+                    v["warm_cache"]["hit_rate"],
+                ]
+                for v in report["variants"]
+            ],
+        )
+        print(f"wrote {out_path}")
+
+    big = [v["speedup"] for v in report["variants"] if v["batch_size"] >= 256]
+    assert max(big) >= 3.0, f"batch >=256 speedups {big} below the 3x bar"

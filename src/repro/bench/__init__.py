@@ -1,7 +1,8 @@
 """Benchmark harness: the paper's figures as runnable experiments."""
 
 from .figures import fig4_accuracy, fig5_discretized_performance, fig6_history_overhead
-from .reporting import format_table, print_figure
+from .protocol import cold_start, pdf_cache_stats, warm_start
+from .reporting import format_table, print_cache_stats, print_figure
 
 __all__ = [
     "fig4_accuracy",
@@ -9,4 +10,8 @@ __all__ = [
     "fig6_history_overhead",
     "format_table",
     "print_figure",
+    "print_cache_stats",
+    "cold_start",
+    "warm_start",
+    "pdf_cache_stats",
 ]

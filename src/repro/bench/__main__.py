@@ -13,7 +13,8 @@ from __future__ import annotations
 import argparse
 
 from .figures import fig4_accuracy, fig5_discretized_performance, fig6_history_overhead
-from .reporting import print_figure
+from .protocol import pdf_cache_stats
+from .reporting import print_cache_stats, print_figure
 
 
 def main() -> None:
@@ -41,6 +42,7 @@ def main() -> None:
         else:
             headers, rows = fig5_discretized_performance()
         print_figure("Figure 5: Performance of Discretized PDFs", headers, rows)
+        print_cache_stats(pdf_cache_stats())
 
     if args.figure in ("fig6", "all"):
         if args.quick:
@@ -48,6 +50,7 @@ def main() -> None:
         else:
             headers, rows = fig6_history_overhead()
         print_figure("Figure 6: Overhead of Histories", headers, rows)
+        print_cache_stats(pdf_cache_stats())
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from ..engine.database import Database
 from ..engine.storage.disk import MemoryDisk
 from ..pdf.convert import discretize, to_histogram
 from ..pdf.regions import BoxRegion, IntervalSet
+from .protocol import cold_start
 from ..workloads.sensors import (
     generate_range_queries,
     generate_readings,
@@ -134,8 +135,7 @@ def _build_database(
 
 def _run_range_workload(db: Database, queries) -> Tuple[float, int, int]:
     """(wall seconds, physical page reads, result rows) for the query batch."""
-    db.catalog.pool.clear()  # cold cache, as in a fresh scan-heavy workload
-    db.reset_io_stats()
+    cold_start(db)  # fresh scan-heavy workload: no cached pages or pdf ops
     rows = 0
     start = time.perf_counter()
     for q in queries:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-__all__ = ["format_table", "print_figure"]
+__all__ = ["format_table", "print_figure", "print_cache_stats"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -38,4 +38,12 @@ def print_figure(
     print(title)
     print(banner)
     print(format_table(headers, rows))
+
+
+def print_cache_stats(stats: dict, label: str = "pdf-op cache") -> None:
+    """One greppable line summarising pdf-op cache effectiveness."""
+    print(
+        f"{label}: hits={stats['hits']} misses={stats['misses']} "
+        f"size={stats['size']} hit_rate={stats['hit_rate']:.3f}"
+    )
     print()

@@ -83,12 +83,17 @@ class ModelConfig:
         When True, join results eagerly collapse historically dependent
         dependency sets into explicit joints (the eager strategy discussed
         at the end of Section III-D); the default is lazy.
+    ``batch_size``
+        Tuples per batch in the vectorized executor pipeline.  ``1``
+        disables batching (tuple-at-a-time Volcano iteration); larger sizes
+        amortize page pins and let same-family pdfs share one kernel sweep.
     """
 
     use_history: bool = True
     grid: GridSpec = DEFAULT_GRID
     mass_epsilon: float = 1e-6
     eager_merge: bool = False
+    batch_size: int = 256
 
 
 DEFAULT_CONFIG = ModelConfig()
@@ -213,6 +218,26 @@ class ProbabilisticTuple:
         self.certain: Dict[str, CertainValue] = dict(certain)
         self.pdfs: Dict[FrozenSet[str], Optional[Pdf]] = dict(pdfs)
         self.lineage: Dict[FrozenSet[str], Lineage] = dict(lineage)
+
+    @classmethod
+    def _adopt(
+        cls,
+        tuple_id: int,
+        certain: Dict[str, CertainValue],
+        pdfs: Dict[FrozenSet[str], Optional[Pdf]],
+        lineage: Dict[FrozenSet[str], Lineage],
+    ) -> "ProbabilisticTuple":
+        """Constructor for hot paths that hand over freshly built dicts.
+
+        Skips the defensive ``dict()`` copies of :meth:`__init__`; callers
+        must not alias the arguments afterwards.
+        """
+        t = cls.__new__(cls)
+        t.tuple_id = tuple_id
+        t.certain = certain
+        t.pdfs = pdfs
+        t.lineage = lineage
+        return t
 
     def pdf_of_attr(self, attr: str) -> Optional[Pdf]:
         """The pdf of the dependency set containing ``attr`` (None if NULL)."""

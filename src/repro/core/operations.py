@@ -17,11 +17,13 @@ paper's product formula.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import HistoryError, UnsupportedOperationError
+from ..pdf import kernels
 from ..pdf.base import Pdf
 from ..pdf.discrete import DiscretePdf
 from ..pdf.floors import FlooredPdf
@@ -37,12 +39,209 @@ from ..pdf.regions import BoxRegion, Interval, IntervalSet, PredicateRegion, Reg
 from .history import AncestorRef, HistoryStore, Lineage
 from .model import DEFAULT_CONFIG, ModelConfig
 
-__all__ = ["support_region", "product", "marginalize", "floor"]
+__all__ = [
+    "support_region",
+    "product",
+    "marginalize",
+    "floor",
+    "PdfOpCache",
+    "PDF_OP_CACHE",
+    "cached_mass",
+    "cached_masses",
+    "cached_interval_masses",
+    "cached_marginalize",
+    "cached_restrict",
+]
+
+
+# ---------------------------------------------------------------------------
+# The pdf-operation cache
+# ---------------------------------------------------------------------------
+
+_MISS = object()
+
+
+class PdfOpCache:
+    """An LRU memo for ``mass`` / ``marginalize`` / ``restrict`` results.
+
+    Keys combine a :meth:`~repro.pdf.base.Pdf.fingerprint` with the
+    operation name and arguments, so structurally identical pdfs share
+    entries across tuples, operators and queries.  Hit/miss counters are
+    surfaced through the bench reporting layer.
+    """
+
+    def __init__(self, maxsize: int = 8192):
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value, or the internal miss sentinel."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return _MISS
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        # New keys land at the MRU end by insertion order; puts always follow
+        # a miss, so no move_to_end (and its second key hash) is needed.
+        data = self._data
+        data[key] = value
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def reset(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def configure(self, maxsize: int) -> None:
+        """Resize the cache (evicting LRU entries if shrinking)."""
+        self.maxsize = int(maxsize)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+#: Process-wide cache shared by every relation, table, and executor plan.
+PDF_OP_CACHE = PdfOpCache()
+
+
+def _region_key(region: Region):
+    """A hashable key for cacheable (axis-aligned) regions; ``None`` otherwise."""
+    if isinstance(region, BoxRegion):
+        return ("box",) + tuple((a, region.interval_set(a)) for a in region.attrs)
+    return None
+
+
+def cached_mass(pdf: Pdf) -> float:
+    """``pdf.mass()`` through the pdf-op cache."""
+    fp = pdf.fingerprint()
+    if fp is None:
+        return pdf.mass()
+    key = ("mass", fp)
+    value = PDF_OP_CACHE.get(key)
+    if value is _MISS:
+        value = float(pdf.mass())
+        PDF_OP_CACHE.put(key, value)
+    return value
+
+
+def cached_masses(pdfs: Sequence[Pdf]) -> List[float]:
+    """``mass()`` for a batch of pdfs: cache hits first, one kernel sweep for the misses."""
+    n = len(pdfs)
+    out: List[float] = [0.0] * n
+    keys: List[object] = [None] * n
+    missing: List[int] = []
+    cache = PDF_OP_CACHE
+    for i, pdf in enumerate(pdfs):
+        fp = pdf.fingerprint()
+        if fp is None:
+            missing.append(i)
+            continue
+        key = ("mass", fp)
+        keys[i] = key
+        value = cache.get(key)
+        if value is _MISS:
+            missing.append(i)
+        else:
+            out[i] = value
+    if missing:
+        values = kernels.batch_mass([pdfs[i] for i in missing])
+        for j, i in enumerate(missing):
+            value = float(values[j])
+            out[i] = value
+            if keys[i] is not None:
+                cache.put(keys[i], value)
+    return out
+
+
+def cached_interval_masses(
+    bases: Sequence[Pdf], alloweds: Sequence[IntervalSet]
+) -> List[float]:
+    """Mass of ``FlooredPdf(base_i, allowed_i)`` without building the floors.
+
+    Shares cache keys with :func:`cached_mass` over the equivalent
+    :class:`~repro.pdf.floors.FlooredPdf` (its fingerprint is
+    ``("floor", base_fp, allowed)``), and computes the misses with one
+    vectorized kernel sweep.
+    """
+    n = len(bases)
+    out: List[float] = [0.0] * n
+    keys: List[object] = [None] * n
+    missing: List[int] = []
+    cache = PDF_OP_CACHE
+    for i in range(n):
+        base_fp = bases[i].fingerprint()
+        if base_fp is None:
+            missing.append(i)
+            continue
+        key = ("mass", ("floor", base_fp, alloweds[i]))
+        keys[i] = key
+        value = cache.get(key)
+        if value is _MISS:
+            missing.append(i)
+        else:
+            out[i] = value
+    if missing:
+        values = kernels.batch_interval_probs(
+            [bases[i] for i in missing], [alloweds[i] for i in missing]
+        )
+        for j, i in enumerate(missing):
+            value = float(values[j])
+            out[i] = value
+            if keys[i] is not None:
+                cache.put(keys[i], value)
+    return out
+
+
+def cached_marginalize(pdf: Pdf, attrs: Sequence[str]) -> Pdf:
+    """``pdf.marginalize(attrs)`` through the pdf-op cache."""
+    fp = pdf.fingerprint()
+    if fp is None:
+        return pdf.marginalize(attrs)
+    key = ("marginalize", fp, tuple(attrs))
+    value = PDF_OP_CACHE.get(key)
+    if value is _MISS:
+        value = pdf.marginalize(attrs)
+        PDF_OP_CACHE.put(key, value)
+    return value
+
+
+def cached_restrict(pdf: Pdf, region: Region) -> Pdf:
+    """``pdf.restrict(region)`` through the pdf-op cache (box regions only)."""
+    fp = pdf.fingerprint()
+    rk = _region_key(region) if fp is not None else None
+    if rk is None:
+        return pdf.restrict(region)
+    key = ("restrict", fp, rk)
+    value = PDF_OP_CACHE.get(key)
+    if value is _MISS:
+        value = pdf.restrict(region)
+        PDF_OP_CACHE.put(key, value)
+    return value
 
 
 def marginalize(pdf: Pdf, attrs: Sequence[str]) -> Pdf:
-    """The paper's ``marginalize(f, A)`` primitive."""
-    return pdf.marginalize(attrs)
+    """The paper's ``marginalize(f, A)`` primitive (memoised)."""
+    return cached_marginalize(pdf, attrs)
 
 
 def floor(pdf: Pdf, region: Region) -> Pdf:
@@ -160,7 +359,7 @@ def _expand_ancestor(
     """
     used = {b: cs for b, cs in base_to_currents.items() if cs}
     base_attrs = [a for a in ancestor.attrs if a in used]
-    marginal = ancestor.marginalize(base_attrs)
+    marginal = cached_marginalize(ancestor, base_attrs)
     if all(len(cs) == 1 for cs in used.values()):
         return marginal.rename({b: cs[0] for b, cs in used.items()})
     discrete = as_joint_discrete(marginal)
@@ -227,7 +426,7 @@ def product(
     for pdf in pdfs:
         private = [a for a in pdf.attrs if a not in covered]
         if private:
-            components.append(pdf.marginalize(private))
+            components.append(cached_marginalize(pdf, private))
             covered.update(private)
 
     joint = independent_product(*components)

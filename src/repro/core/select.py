@@ -21,11 +21,14 @@ relation-level :func:`select` is a thin loop over the plan.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import QueryError
 from ..pdf.base import Pdf
 from ..pdf.discrete import CategoricalPdf, DiscretePdf, label_code
+from ..pdf.floors import FlooredPdf
+from ..pdf.kernels import VECTOR_FAMILIES
+from ..pdf.regions import BoxRegion
 from .history import HistoryStore, Lineage
 from .model import (
     DEFAULT_CONFIG,
@@ -34,10 +37,13 @@ from .model import (
     ProbabilisticSchema,
     ProbabilisticTuple,
 )
-from .operations import product
+from .operations import cached_interval_masses, cached_mass, product
 from .predicates import Predicate
 
 __all__ = ["select", "closure", "SelectionPlan"]
+
+#: exact pdf types the batched selection path gathers for the kernel sweep
+_FAST_TYPES = frozenset(VECTOR_FAMILIES)
 
 
 def closure(
@@ -109,6 +115,23 @@ class SelectionPlan:
             resolver=lambda attr, label: label_code(label)
         )
 
+        # Vectorizable fast path (see apply_batch): the predicate touches
+        # exactly one singleton dependency set, merges in no certain
+        # attributes, and its region is axis-aligned.  Then ``product`` is
+        # the identity and selection reduces to one interval-mass per tuple.
+        self._fast_dep = None
+        self._fast_allowed = None
+        if (
+            len(self._touched) == 1
+            and self._touched[0] == self._merged_set
+            and len(self._merged_set) == 1
+            and not self._merged_certain
+            and isinstance(self._region, BoxRegion)
+        ):
+            self._fast_dep = self._touched[0]
+            (attr,) = self._merged_set
+            self._fast_allowed = self._region.interval_set(attr)
+
     def apply(
         self, t: ProbabilisticTuple, store: HistoryStore
     ) -> Optional[ProbabilisticTuple]:
@@ -132,7 +155,7 @@ class SelectionPlan:
 
         joint, lineage = product(inputs, store, self.config)
         floored = joint.restrict(self._region)
-        if floored.mass() <= self.config.mass_epsilon:
+        if cached_mass(floored) <= self.config.mass_epsilon:
             return None
 
         new_certain = {k: v for k, v in t.certain.items() if k not in self._merged_set}
@@ -141,6 +164,68 @@ class SelectionPlan:
         new_pdfs[self._merged_set] = floored
         new_lineage[self._merged_set] = lineage
         return ProbabilisticTuple(t.tuple_id, new_certain, new_pdfs, new_lineage)
+
+    def apply_batch(
+        self, tuples: Sequence[ProbabilisticTuple], store: HistoryStore
+    ) -> List[Optional[ProbabilisticTuple]]:
+        """Select a batch of tuples; element-wise identical to :meth:`apply`.
+
+        When the fast path applies (single singleton dependency set, box
+        region — the §IV sensor-workload shape), the per-tuple work reduces
+        to ``FlooredPdf(pdf, region).mass()``; those masses are computed in
+        one vectorized kernel sweep through the pdf-op cache, and the
+        surviving floors are only materialised for tuples that pass the
+        mass-epsilon check.  Everything else falls back to :meth:`apply`.
+        """
+        if self.certain_only or self._fast_dep is None:
+            return [self.apply(t, store) for t in tuples]
+
+        dep = self._fast_dep
+        region_allowed = self._fast_allowed
+        results: List[Optional[ProbabilisticTuple]] = [None] * len(tuples)
+        vec_idx: List[int] = []
+        vec_bases: List[Pdf] = []
+        vec_allowed: List[object] = []
+        for i, t in enumerate(tuples):
+            pdf = t.pdfs[dep]
+            if pdf is None:
+                continue  # NULL pdf: predicate unknown, tuple excluded
+            tp = type(pdf)
+            if tp is FlooredPdf:
+                vec_idx.append(i)
+                vec_bases.append(pdf.base)
+                vec_allowed.append(pdf.allowed.intersect(region_allowed))
+            elif tp in _FAST_TYPES:
+                vec_idx.append(i)
+                vec_bases.append(pdf)
+                vec_allowed.append(region_allowed)
+            else:
+                results[i] = self.apply(t, store)
+        if not vec_idx:
+            return results
+
+        masses = cached_interval_masses(vec_bases, vec_allowed)
+        epsilon = self.config.mass_epsilon
+        merged_set = self._merged_set
+        untouched = self._untouched
+        adopt = ProbabilisticTuple._adopt
+        for i, base, allowed, m in zip(vec_idx, vec_bases, vec_allowed, masses):
+            if m <= epsilon:
+                continue
+            t = tuples[i]
+            # _merged_certain is empty on this path, so the certain values
+            # pass through unfiltered; vec_bases are unfloored by
+            # construction, so _from_parts is exact.
+            if untouched:
+                new_pdfs = {s: t.pdfs[s] for s in untouched}
+                new_lineage = {s: t.lineage[s] for s in untouched}
+            else:
+                new_pdfs = {}
+                new_lineage = {}
+            new_pdfs[merged_set] = FlooredPdf._from_parts(base, allowed)
+            new_lineage[merged_set] = t.lineage[dep]
+            results[i] = adopt(t.tuple_id, dict(t.certain), new_pdfs, new_lineage)
+        return results
 
 
 def select(

@@ -24,10 +24,11 @@ from .model import (
     ProbabilisticRelation,
     ProbabilisticTuple,
 )
-from .operations import product
+from .operations import cached_mass, cached_masses, product
 
 __all__ = [
     "probability_of",
+    "batch_probability_of",
     "tuple_probability",
     "threshold_select",
     "existence_probability",
@@ -67,7 +68,45 @@ def probability_of(
     if not inputs:
         return 1.0
     joint, _ = product(inputs, store, config)
-    return min(joint.mass(), 1.0)
+    return min(cached_mass(joint), 1.0)
+
+
+def batch_probability_of(
+    tuples: Sequence[ProbabilisticTuple],
+    store,
+    attrs: Optional[Iterable[str]] = None,
+    config: ModelConfig = DEFAULT_CONFIG,
+) -> list:
+    """``Pr(A)`` for a batch of tuples; element-wise identical to
+    :func:`probability_of`.
+
+    Tuples whose target reduces to a single pdf (the common case — the
+    ``product`` primitive is then the identity) have their masses computed
+    in one vectorized kernel sweep through the pdf-op cache; tuples needing
+    a genuine history-aware product fall back to the scalar path.
+    """
+    wanted = set(attrs) if attrs is not None else None
+    out: list = [0.0] * len(tuples)
+    single_idx = []
+    single_pdfs = []
+    for i, t in enumerate(tuples):
+        if wanted is None:
+            targets = list(t.pdfs.keys())
+        else:
+            targets = [dep for dep in t.pdfs if dep & wanted]
+        inputs = [t.pdfs[dep] for dep in targets if t.pdfs[dep] is not None]
+        if not inputs:
+            out[i] = 1.0
+        elif len(inputs) == 1:
+            single_idx.append(i)
+            single_pdfs.append(inputs[0])
+        else:
+            out[i] = probability_of(t, store, attrs, config)
+    if single_idx:
+        masses = cached_masses(single_pdfs)
+        for i, m in zip(single_idx, masses):
+            out[i] = min(m, 1.0)
+    return out
 
 
 def tuple_probability(

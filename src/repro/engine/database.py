@@ -30,7 +30,13 @@ from ..pdf.base import Pdf
 from .catalog import Catalog
 from .sql import ast
 from .sql.parser import parse
-from .sql.planner import Binder, build_schema, convert_predicate, plan_select
+from .sql.planner import (
+    Binder,
+    build_schema,
+    convert_predicate,
+    execute_plan,
+    plan_select,
+)
 from .storage.disk import Disk
 from .table import Table
 
@@ -204,7 +210,7 @@ class Database:
             return QueryResult(message="EXPLAIN", plan_text=plan.explain())
         if isinstance(stmt, ast.Select):
             plan = plan_select(self.catalog, stmt)
-            rows = list(plan)
+            rows = execute_plan(plan, self.config)
             schema = plan.output_schema
             return QueryResult(
                 columns=list(schema.visible_attrs),
@@ -414,7 +420,7 @@ class Database:
         materialised table stay PWS-consistent.
         """
         plan = plan_select(self.catalog, stmt.query)
-        rows = list(plan)
+        rows = execute_plan(plan, self.config)
         table = self.catalog.create_table(stmt.name, plan.output_schema)
         for t in rows:
             table.insert_tuple(t)

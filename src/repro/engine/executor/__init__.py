@@ -2,6 +2,7 @@
 
 from .aggregate import AggSpec, Aggregate, Distinct, GroupAggregate
 from .base import Operator
+from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
 from .relational import (
     Filter,
     HashJoin,
@@ -19,6 +20,10 @@ from .scan import BTreeScan, PtiScan, RelationScan, SeqScan, SpatialScan
 
 __all__ = [
     "Operator",
+    "TupleBatch",
+    "DEFAULT_BATCH_SIZE",
+    "batched",
+    "flatten",
     "SeqScan",
     "BTreeScan",
     "PtiScan",

@@ -28,6 +28,7 @@ from ...core.model import (
 )
 from ...errors import QueryError
 from .base import Operator
+from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
 
 __all__ = ["AggSpec", "Aggregate", "GroupAggregate", "Distinct"]
 
@@ -84,8 +85,14 @@ class Aggregate(Operator):
         self.output_schema = ProbabilisticSchema(columns, dependency)
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return self._execute(iter(self.child))
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return batched(self._execute(flatten(self.child.batches(size))), size)
+
+    def _execute(self, source) -> Iterator[ProbabilisticTuple]:
         rel = ProbabilisticRelation(self.child.output_schema, store=self.store)
-        for t in self.child:
+        for t in source:
             rel.add_tuple(t, acquire=False)
 
         certain = {}
@@ -164,9 +171,15 @@ class GroupAggregate(Operator):
         )
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return self._execute(iter(self.child))
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return batched(self._execute(flatten(self.child.batches(size))), size)
+
+    def _execute(self, source) -> Iterator[ProbabilisticTuple]:
         groups: dict = {}
         order: List[tuple] = []
-        for t in self.child:
+        for t in source:
             key = tuple(t.certain.get(a) for a in self.group_attrs)
             if key not in groups:
                 groups[key] = ProbabilisticRelation(
@@ -241,10 +254,16 @@ class Distinct(Operator):
             )
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return self._execute(iter(self.child))
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return batched(self._execute(flatten(self.child.batches(size))), size)
+
+    def _execute(self, source) -> Iterator[ProbabilisticTuple]:
         from ...core.distinct import distinct as core_distinct
 
         rel = ProbabilisticRelation(self.child.output_schema, store=self.store)
-        for t in self.child:
+        for t in source:
             rel.add_tuple(t, acquire=False)
         return iter(core_distinct(rel, self.config).tuples)
 

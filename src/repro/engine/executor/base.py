@@ -11,17 +11,32 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ...core.model import ProbabilisticSchema, ProbabilisticTuple
+from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched
 
 __all__ = ["Operator"]
 
 
 class Operator:
-    """Base class of executor operators (Volcano-style, pull-based)."""
+    """Base class of executor operators (Volcano-style, pull-based).
+
+    Operators support two pull protocols:
+
+    * the scalar iterator protocol (``__iter__``), one tuple per step;
+    * the batch protocol (:meth:`batches`), a :class:`TupleBatch` per step.
+
+    The default :meth:`batches` chunks the scalar iterator, so every
+    operator is batch-capable; batch-native operators override it.  Both
+    protocols produce identical tuples in identical order.
+    """
 
     output_schema: ProbabilisticSchema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         raise NotImplementedError
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        """Yield the operator's output as :class:`TupleBatch` es of ``size``."""
+        return batched(iter(self), size)
 
     def children(self) -> List["Operator"]:
         return []

@@ -1,0 +1,72 @@
+"""Batched execution: TupleBatch and the chunking helpers.
+
+The batch pipeline moves vectors of tuples between operators instead of one
+tuple per ``next()`` call.  Each operator implements
+``batches(size) -> Iterator[TupleBatch]``; the default implementation in
+:class:`~repro.engine.executor.base.Operator` chunks the operator's scalar
+iterator, so every operator is batch-capable and batch-native operators
+(scans that decode a pinned page at a time, filters that hand whole batches
+to the vectorized selection kernels) override it for speed.  The scalar
+``__iter__`` protocol remains intact as a compatibility shim; both paths
+produce identical tuples in identical order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from ...core.model import ProbabilisticTuple
+
+__all__ = ["DEFAULT_BATCH_SIZE", "TupleBatch", "batched", "flatten"]
+
+#: Default number of tuples per batch; overridden by ``ModelConfig.batch_size``.
+DEFAULT_BATCH_SIZE = 256
+
+
+class TupleBatch:
+    """An ordered vector of probabilistic tuples flowing through the pipeline.
+
+    Deliberately thin — a named wrapper over a list — so that operators can
+    slice, extend and rebuild batches without copying overhead.  Batches are
+    never empty except transiently inside operators; the chunking helpers
+    only emit non-empty batches.
+    """
+
+    __slots__ = ("tuples",)
+
+    def __init__(self, tuples: Sequence[ProbabilisticTuple]):
+        self.tuples = list(tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return iter(self.tuples)
+
+    def __getitem__(self, i):
+        return self.tuples[i]
+
+    def __repr__(self) -> str:
+        return f"TupleBatch({len(self.tuples)} tuples)"
+
+
+def batched(
+    source: Iterable[ProbabilisticTuple], size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[TupleBatch]:
+    """Chunk a tuple iterable into :class:`TupleBatch` es of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    buf: List[ProbabilisticTuple] = []
+    for t in source:
+        buf.append(t)
+        if len(buf) >= size:
+            yield TupleBatch(buf)
+            buf = []
+    if buf:
+        yield TupleBatch(buf)
+
+
+def flatten(batches: Iterable[TupleBatch]) -> Iterator[ProbabilisticTuple]:
+    """The inverse of :func:`batched`: stream the tuples of a batch iterable."""
+    for batch in batches:
+        yield from batch.tuples

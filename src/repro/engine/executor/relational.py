@@ -19,12 +19,14 @@ from ...core.model import (
     ProbabilisticSchema,
     ProbabilisticTuple,
 )
+from ...core.operations import cached_marginalize, cached_mass
 from ...core.predicates import Predicate
 from ...core.project import ProjectionPlan
 from ...core.select import SelectionPlan
-from ...core.threshold import probability_of
+from ...core.threshold import batch_probability_of, probability_of
 from ...errors import QueryError, SchemaError
 from .base import Operator
+from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
 
 __all__ = [
     "Filter",
@@ -70,6 +72,13 @@ class Filter(Operator):
             if result is not None:
                 yield result
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        for batch in self.child.batches(size):
+            results = self.plan.apply_batch(batch.tuples, self.store)
+            kept = [r for r in results if r is not None]
+            if kept:
+                yield TupleBatch(kept)
+
     def children(self) -> List[Operator]:
         return [self.child]
 
@@ -94,6 +103,11 @@ class Project(Operator):
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         for t in self.child:
             yield self.plan.apply(t)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        apply = self.plan.apply
+        for batch in self.child.batches(size):
+            yield TupleBatch([apply(t) for t in batch.tuples])
 
     def children(self) -> List[Operator]:
         return [self.child]
@@ -160,6 +174,17 @@ def _merge_pair(
     return ProbabilisticTuple(tuple_id, certain, pdfs, lineage)
 
 
+def _select_batches(
+    plan: SelectionPlan, store: HistoryStore, source, size: int
+) -> Iterator[TupleBatch]:
+    """Run a SelectionPlan over a tuple stream, ``size`` tuples per kernel sweep."""
+    for batch in batched(source, size):
+        results = plan.apply_batch(batch.tuples, store)
+        kept = [r for r in results if r is not None]
+        if kept:
+            yield TupleBatch(kept)
+
+
 class NestedLoopJoin(Operator):
     """⋈ via nested loops: the right input is materialised once."""
 
@@ -188,6 +213,20 @@ class NestedLoopJoin(Operator):
                 result = self.plan.apply(pair, self.store)
                 if result is not None:
                     yield result
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        inner = [
+            _rename_tuple(t, self._renames)
+            for t in flatten(self.right.batches(size))
+        ]
+
+        def pairs() -> Iterator[ProbabilisticTuple]:
+            for batch in self.left.batches(size):
+                for tl in batch.tuples:
+                    for tr in inner:
+                        yield _merge_pair(tl, tr, self.store.new_tuple_id())
+
+        yield from _select_batches(self.plan, self.store, pairs(), size)
 
     def children(self) -> List[Operator]:
         return [self.left, self.right]
@@ -230,13 +269,20 @@ class HashJoin(Operator):
         self.plan = SelectionPlan(merged, predicate, config)
         self.output_schema = self.plan.output_schema
 
-    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+    def _build_buckets(
+        self, right_tuples
+    ) -> Dict[object, List[ProbabilisticTuple]]:
         buckets: Dict[object, List[ProbabilisticTuple]] = {}
-        for tr in self.right:
+        probe_key = self._renames.get(self.right_key, self.right_key)
+        for tr in right_tuples:
             renamed = _rename_tuple(tr, self._renames)
-            key = renamed.certain.get(self._renames.get(self.right_key, self.right_key))
+            key = renamed.certain.get(probe_key)
             if key is not None:
                 buckets.setdefault(key, []).append(renamed)
+        return buckets
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        buckets = self._build_buckets(self.right)
         for tl in self.left:
             key = tl.certain.get(self.left_key)
             if key is None:
@@ -246,6 +292,20 @@ class HashJoin(Operator):
                 result = self.plan.apply(pair, self.store)
                 if result is not None:
                     yield result
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        buckets = self._build_buckets(flatten(self.right.batches(size)))
+
+        def pairs() -> Iterator[ProbabilisticTuple]:
+            for batch in self.left.batches(size):
+                for tl in batch.tuples:
+                    key = tl.certain.get(self.left_key)
+                    if key is None:
+                        continue
+                    for tr in buckets.get(key, ()):
+                        yield _merge_pair(tl, tr, self.store.new_tuple_id())
+
+        yield from _select_batches(self.plan, self.store, pairs(), size)
 
     def children(self) -> List[Operator]:
         return [self.left, self.right]
@@ -267,7 +327,7 @@ class Scalarize(Operator):
     FUNCS = {
         "mean": lambda pdf: pdf.mean(),
         "variance": lambda pdf: pdf.variance(),
-        "mass": lambda pdf: pdf.mass(),
+        "mass": cached_mass,
     }
 
     def __init__(self, child: Operator, items: Sequence[Tuple[str, str, str]]):
@@ -298,17 +358,26 @@ class Scalarize(Operator):
             columns.append(Column(name, DataType.REAL))
         self.output_schema = ProbabilisticSchema(columns, schema.dependency)
 
+    def _scalarize(self, t: ProbabilisticTuple) -> ProbabilisticTuple:
+        certain = dict(t.certain)
+        for func, attr, name in self.items:
+            pdf = t.pdf_of_attr(attr)
+            if pdf is None:
+                certain[name] = None
+                continue
+            marginal = (
+                cached_marginalize(pdf, [attr]) if len(pdf.attrs) > 1 else pdf
+            )
+            certain[name] = float(self.FUNCS[func](marginal))
+        return ProbabilisticTuple(t.tuple_id, certain, t.pdfs, t.lineage)
+
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         for t in self.child:
-            certain = dict(t.certain)
-            for func, attr, name in self.items:
-                pdf = t.pdf_of_attr(attr)
-                if pdf is None:
-                    certain[name] = None
-                    continue
-                marginal = pdf.marginalize([attr]) if len(pdf.attrs) > 1 else pdf
-                certain[name] = float(self.FUNCS[func](marginal))
-            yield ProbabilisticTuple(t.tuple_id, certain, t.pdfs, t.lineage)
+            yield self._scalarize(t)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        for batch in self.child.batches(size):
+            yield TupleBatch([self._scalarize(t) for t in batch.tuples])
 
     def children(self) -> List[Operator]:
         return [self.child]
@@ -329,6 +398,10 @@ class RenameOp(Operator):
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         for t in self.child:
             yield _rename_tuple(t, self.mapping)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        for batch in self.child.batches(size):
+            yield TupleBatch([_rename_tuple(t, self.mapping) for t in batch.tuples])
 
     def children(self) -> List[Operator]:
         return [self.child]
@@ -378,6 +451,27 @@ class ProbFilter(Operator):
             if compare(p, self.threshold):
                 yield t
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        compare = _THRESH_OPS[self.op]
+        for batch in self.child.batches(size):
+            selected = self.plan.apply_batch(batch.tuples, self.store)
+            alive = [(i, s) for i, s in enumerate(selected) if s is not None]
+            probs = dict(
+                zip(
+                    (i for i, _ in alive),
+                    batch_probability_of(
+                        [s for _, s in alive], self.store, None, self.config
+                    ),
+                )
+            )
+            kept = [
+                t
+                for i, t in enumerate(batch.tuples)
+                if compare(probs.get(i, 0.0), self.threshold)
+            ]
+            if kept:
+                yield TupleBatch(kept)
+
     def children(self) -> List[Operator]:
         return [self.child]
 
@@ -418,6 +512,18 @@ class ThresholdFilter(Operator):
             if compare(p, self.threshold):
                 yield t
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        compare = _THRESH_OPS[self.op]
+        for batch in self.child.batches(size):
+            probs = batch_probability_of(
+                batch.tuples, self.store, self.attrs, self.config
+            )
+            kept = [
+                t for t, p in zip(batch.tuples, probs) if compare(p, self.threshold)
+            ]
+            if kept:
+                yield TupleBatch(kept)
+
     def children(self) -> List[Operator]:
         return [self.child]
 
@@ -455,6 +561,13 @@ class SortByProbability(Operator):
         rows.sort(key=lambda item: (-item[0], item[1]) if self.descending else (item[0], item[1]))
         return iter([t for _, _, t in rows])
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        tuples = list(flatten(self.child.batches(size)))
+        probs = batch_probability_of(tuples, self.store, None, self.config)
+        rows = [(p, i, t) for i, (p, t) in enumerate(zip(probs, tuples))]
+        rows.sort(key=lambda item: (-item[0], item[1]) if self.descending else (item[0], item[1]))
+        return batched((t for _, _, t in rows), size)
+
     def children(self) -> List[Operator]:
         return [self.child]
 
@@ -477,6 +590,9 @@ class Sort(Operator):
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         rows = list(self.child)
+        return iter(self._sorted(rows))
+
+    def _sorted(self, rows: List[ProbabilisticTuple]) -> List[ProbabilisticTuple]:
         # None sorts last, ascending order by default.
         rows.sort(
             key=lambda t: tuple(
@@ -484,7 +600,11 @@ class Sort(Operator):
             ),
             reverse=self.descending,
         )
-        return iter(rows)
+        return rows
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        rows = self._sorted(list(flatten(self.child.batches(size))))
+        return batched(rows, size)
 
     def children(self) -> List[Operator]:
         return [self.child]
@@ -514,6 +634,20 @@ class Limit(Operator):
             if i >= self.offset + self.count:
                 return
             yield t
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        start, end = self.offset, self.offset + self.count
+        seen = 0
+        if self.count == 0:
+            return
+        for batch in self.child.batches(size):
+            lo = max(start - seen, 0)
+            hi = min(end - seen, len(batch.tuples))
+            seen += len(batch.tuples)
+            if hi > lo:
+                yield TupleBatch(batch.tuples[lo:hi])
+            if seen >= end:
+                return
 
     def children(self) -> List[Operator]:
         return [self.child]

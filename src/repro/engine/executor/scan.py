@@ -8,8 +8,21 @@ from ...core.model import ProbabilisticRelation, ProbabilisticTuple
 from ...errors import QueryError
 from ..table import Table
 from .base import Operator
+from .batch import DEFAULT_BATCH_SIZE, TupleBatch
 
 __all__ = ["SeqScan", "BTreeScan", "PtiScan", "SpatialScan", "RelationScan"]
+
+
+def _rid_batches(table: Table, rids: Iterator, size: int) -> Iterator[TupleBatch]:
+    """Chunk an RID stream into decoded TupleBatches via grouped page reads."""
+    buf = []
+    for t in table.read_grouped(rids):
+        buf.append(t)
+        if len(buf) >= size:
+            yield TupleBatch(buf)
+            buf = []
+    if buf:
+        yield TupleBatch(buf)
 
 
 class RelationScan(Operator):
@@ -27,6 +40,11 @@ class RelationScan(Operator):
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return iter(self.relation.tuples)
 
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        tuples = self.relation.tuples
+        for start in range(0, len(tuples), size):
+            yield TupleBatch(tuples[start : start + size])
+
     def label(self) -> str:
         name = self.relation.name or "<anonymous>"
         return f"RelationScan({name})"
@@ -42,6 +60,10 @@ class SeqScan(Operator):
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         for _rid, t in self.table.scan():
             yield t
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        for chunk in self.table.scan_batches(size):
+            yield TupleBatch(chunk)
 
     def label(self) -> str:
         return f"SeqScan({self.table.name})"
@@ -71,10 +93,17 @@ class BTreeScan(Operator):
         self.include_lo, self.include_hi = include_lo, include_hi
         self.output_schema = table.schema
 
-    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+    def _rids(self) -> Iterator:
         tree = self.table.btrees[self.attr]
         for _key, rid in tree.range_scan(self.lo, self.hi, self.include_lo, self.include_hi):
-            yield self.table.read(rid)
+            yield rid
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        # Grouped reads pin a page once per run of same-page RIDs.
+        return self.table.read_grouped(self._rids())
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return _rid_batches(self.table, self._rids(), size)
 
     def label(self) -> str:
         return f"BTreeScan({self.table.name}.{self.attr} in [{self.lo}, {self.hi}])"
@@ -96,10 +125,15 @@ class SpatialScan(Operator):
         self.window = [(float(lo), float(hi)) for lo, hi in window]
         self.output_schema = table.schema
 
-    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+    def _rids(self) -> Iterator:
         index = self.table.spatials[self.attrs]
-        for rid in index.candidates(self.window):
-            yield self.table.read(rid)
+        return iter(index.candidates(self.window))
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return self.table.read_grouped(self._rids())
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return _rid_batches(self.table, self._rids(), size)
 
     def label(self) -> str:
         parts = ", ".join(
@@ -132,10 +166,15 @@ class PtiScan(Operator):
         self.threshold = float(threshold)
         self.output_schema = table.schema
 
-    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+    def _rids(self) -> Iterator:
         index = self.table.ptis[self.attr]
-        for rid in sorted(index.candidates(self.lo, self.hi, self.threshold)):
-            yield self.table.read(rid)
+        return iter(sorted(index.candidates(self.lo, self.hi, self.threshold)))
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return self.table.read_grouped(self._rids())
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return _rid_batches(self.table, self._rids(), size)
 
     def label(self) -> str:
         return (

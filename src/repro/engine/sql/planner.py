@@ -58,7 +58,21 @@ from ..executor import (
 )
 from . import ast
 
-__all__ = ["plan_select", "Binder"]
+__all__ = ["plan_select", "execute_plan", "Binder"]
+
+
+def execute_plan(plan: Operator, config) -> List:
+    """Materialise a plan's rows, choosing the batch or scalar pipeline.
+
+    ``config.batch_size > 1`` runs the vectorized batch protocol (identical
+    results, one probability-kernel sweep per batch); ``1`` keeps classic
+    tuple-at-a-time iteration.
+    """
+    size = getattr(config, "batch_size", 1)
+    if size and size > 1:
+        return [t for batch in plan.batches(size) for t in batch.tuples]
+    return list(plan)
+
 
 _DTYPES = {
     "int": DataType.INT,

@@ -9,7 +9,7 @@ by :class:`RID` (page id, slot) — the handles stored inside indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Set, Tuple
+from typing import Iterator, List, Sequence, Set, Tuple
 
 from ...errors import StorageError
 from .buffer import BufferPool
@@ -89,6 +89,19 @@ class HeapFile:
         page.delete(rid.slot)
         self._record_count -= 1
 
+    def read_run(self, page_id: int, slots: Sequence[int]) -> List[bytes]:
+        """Fetch several records of one page with a single buffer-pool hit.
+
+        The batch executor groups consecutive same-page RIDs into runs so
+        that a page is pinned once per run instead of once per record.
+        """
+        if page_id not in self._page_set:
+            raise StorageError(
+                f"page {page_id} does not belong to heap file {self.name!r}"
+            )
+        page = self.pool.get_page(page_id)
+        return [page.read(slot) for slot in slots]
+
     # -- scans ------------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[RID, bytes]]:
@@ -97,3 +110,14 @@ class HeapFile:
             page = self.pool.get_page(page_id)
             for slot, record in page.records():
                 yield RID(page_id, slot), record
+
+    def scan_pages(self) -> Iterator[List[Tuple[RID, bytes]]]:
+        """Yield the live records one whole page at a time.
+
+        Each yielded list is decoded from a single pinned page, so the page
+        is fetched from the buffer pool exactly once per visit regardless of
+        how many records it holds.
+        """
+        for page_id in self.page_ids:
+            page = self.pool.get_page(page_id)
+            yield [(RID(page_id, slot), record) for slot, record in page.records()]

@@ -14,7 +14,7 @@ table silently treat all pdfs as independent).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
 from ..errors import CatalogError, QueryError, SchemaError
 from ..core.history import HistoryStore
@@ -103,11 +103,48 @@ class Table:
         t, _ = decode_tuple(self.heap.read(rid))
         return t
 
+    def read_grouped(self, rids: Iterable[RID]) -> Iterator[ProbabilisticTuple]:
+        """Fetch tuples in the given order, pinning each page once per run.
+
+        Consecutive RIDs on the same page are decoded from a single
+        buffer-pool fetch instead of one fetch per tuple — the grouping is
+        order-preserving, so the output matches ``(self.read(r) for r in
+        rids)`` exactly.
+        """
+        run_page: Optional[int] = None
+        run_slots: list = []
+        for rid in rids:
+            if rid.page_id != run_page and run_slots:
+                for record in self.heap.read_run(run_page, run_slots):
+                    yield decode_tuple(record)[0]
+                run_slots = []
+            run_page = rid.page_id
+            run_slots.append(rid.slot)
+        if run_slots:
+            for record in self.heap.read_run(run_page, run_slots):
+                yield decode_tuple(record)[0]
+
     def scan(self) -> Iterator[Tuple[RID, ProbabilisticTuple]]:
         """Sequential scan in page order."""
         for rid, record in self.heap.scan():
             t, _ = decode_tuple(record)
             yield rid, t
+
+    def scan_batches(self, size: int) -> Iterator[list]:
+        """Sequential scan yielding lists of at most ``size`` decoded tuples.
+
+        A whole pinned page is decoded per buffer-pool fetch; page contents
+        are re-chunked to the requested batch size without changing order.
+        """
+        buf: list = []
+        for records in self.heap.scan_pages():
+            for _rid, record in records:
+                buf.append(decode_tuple(record)[0])
+                if len(buf) >= size:
+                    yield buf
+                    buf = []
+        if buf:
+            yield buf
 
     # -- indexes --------------------------------------------------------------------
 

@@ -113,6 +113,25 @@ class Pdf(abc.ABC):
                 f"pdf over {self.attrs} has no attributes {unknown}"
             )
 
+    def fingerprint(self):
+        """A stable, hashable identity for memoising pdf-op results.
+
+        Two pdfs with equal fingerprints must behave identically under
+        ``mass`` / ``restrict`` / ``marginalize``.  ``None`` means the pdf
+        cannot be fingerprinted cheaply and its operations are uncacheable.
+        The value is computed once and memoised on the instance (pdfs are
+        immutable by convention).
+        """
+        fp = getattr(self, "_fp_memo", False)
+        if fp is False:
+            fp = self._fingerprint()
+            self._fp_memo = fp
+        return fp
+
+    def _fingerprint(self):
+        """Subclass hook for :meth:`fingerprint`; default is uncacheable."""
+        return None
+
     # -- probabilistic core --------------------------------------------------
 
     @abc.abstractmethod

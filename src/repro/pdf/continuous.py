@@ -104,6 +104,14 @@ class ContinuousPdf(UnivariatePdf):
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.attrs, tuple(sorted(self._params.items()))))
 
+    def _fingerprint(self):
+        return (
+            "cont",
+            type(self).__name__,
+            self.attrs,
+            tuple(sorted(self._params.items())),
+        )
+
     # -- probabilistic core ----------------------------------------------------
 
     def mass(self) -> float:

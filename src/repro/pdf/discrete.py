@@ -112,6 +112,15 @@ class DiscretePdf(UnivariatePdf):
     def __hash__(self) -> int:
         return hash((self.attrs, self._values.tobytes()))
 
+    def _fingerprint(self):
+        return (
+            "disc",
+            type(self).__name__,
+            self.attrs,
+            self._values.tobytes(),
+            self._probs.tobytes(),
+        )
+
     # -- probabilistic core -----------------------------------------------------
 
     def mass(self) -> float:

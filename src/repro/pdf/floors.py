@@ -46,6 +46,19 @@ class FlooredPdf(UnivariatePdf):
         self._base = base
         self._allowed = allowed
 
+    @classmethod
+    def _from_parts(cls, base: UnivariatePdf, allowed: IntervalSet) -> "FlooredPdf":
+        """Constructor for hot paths whose ``base`` is already unfloored.
+
+        Skips the ``isinstance`` unwrap of :meth:`__init__`; callers must
+        guarantee ``base`` is not itself a :class:`FlooredPdf`.
+        """
+        self = object.__new__(cls)
+        self.attrs = base.attrs
+        self._base = base
+        self._allowed = allowed
+        return self
+
     @property
     def base(self) -> UnivariatePdf:
         """The unfloored symbolic distribution."""
@@ -75,6 +88,12 @@ class FlooredPdf(UnivariatePdf):
 
     def __hash__(self) -> int:
         return hash((self._base, self._allowed))
+
+    def _fingerprint(self):
+        base_fp = self._base.fingerprint()
+        if base_fp is None:
+            return None
+        return ("floor", base_fp, self._allowed)
 
     # -- probabilistic core ------------------------------------------------------
 

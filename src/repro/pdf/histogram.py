@@ -124,6 +124,9 @@ class HistogramPdf(UnivariatePdf):
     def __hash__(self) -> int:
         return hash((self.attrs, self._edges.tobytes()))
 
+    def _fingerprint(self):
+        return ("hist", self.attrs, self._edges.tobytes(), self._masses.tobytes())
+
     # -- probabilistic core ------------------------------------------------------
 
     def mass(self) -> float:

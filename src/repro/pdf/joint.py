@@ -762,6 +762,15 @@ class ProductPdf(Pdf):
         prefix = f"{self.weight:g}·" if self.weight != 1.0 else ""
         return f"{prefix}({inner})"
 
+    def _fingerprint(self):
+        parts = []
+        for f in self.factors:
+            fp = f.fingerprint()
+            if fp is None:
+                return None
+            parts.append(fp)
+        return ("prod", self.weight, tuple(parts))
+
     # -- probabilistic core --------------------------------------------------------
 
     def mass(self) -> float:

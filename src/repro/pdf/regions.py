@@ -166,7 +166,7 @@ class IntervalSet:
     union, intersection, complement, and (vectorised) membership.
     """
 
-    __slots__ = ("_intervals",)
+    __slots__ = ("_intervals", "_hash_memo")
 
     def __init__(self, intervals: Iterable[IntervalLike] = ()):
         items = [_coerce_interval(iv) for iv in intervals]
@@ -285,7 +285,14 @@ class IntervalSet:
         return self._intervals == other._intervals
 
     def __hash__(self) -> int:
-        return hash(self._intervals)
+        # Interval sets are immutable and serve as pdf-op cache key parts;
+        # hashing the interval tuple dominates lookups without this memo.
+        try:
+            return self._hash_memo
+        except AttributeError:
+            h = hash(self._intervals)
+            self._hash_memo = h
+            return h
 
     def __bool__(self) -> bool:
         return not self.is_empty()

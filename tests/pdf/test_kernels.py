@@ -1,0 +1,123 @@
+"""Vectorized kernel tests: batched probabilities must equal scalar ones exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdf import (
+    DiscretePdf,
+    ExponentialPdf,
+    FlooredPdf,
+    GaussianPdf,
+    HistogramPdf,
+    Interval,
+    IntervalSet,
+    UniformPdf,
+)
+from repro.pdf import kernels
+
+INF = float("inf")
+
+
+def _interval_sets():
+    return [
+        IntervalSet([Interval(-1.0, 1.0)]),
+        IntervalSet([Interval(-INF, 0.3)]),
+        IntervalSet([Interval(0.7, INF)]),
+        IntervalSet([Interval(-2.0, -0.5), Interval(0.5, 2.0)]),
+        IntervalSet([Interval(-INF, -1.0), Interval(0.0, 0.25), Interval(3.0, INF)]),
+        IntervalSet([Interval(-INF, INF)]),
+        IntervalSet([]),  # empty: probability 0
+    ]
+
+
+def _family_zoo():
+    rng = np.random.default_rng(7)
+    pdfs = []
+    for _ in range(8):
+        pdfs.append(GaussianPdf(float(rng.normal()), float(0.3 + rng.random())))
+        pdfs.append(UniformPdf(float(-2 + rng.random()), float(1 + rng.random())))
+        pdfs.append(ExponentialPdf(float(0.2 + rng.random())))
+    return pdfs
+
+
+class TestBatchIntervalProbs:
+    def test_matches_scalar_bitwise_across_families(self):
+        sets = _interval_sets()
+        bases, alloweds = [], []
+        for i, pdf in enumerate(_family_zoo()):
+            bases.append(pdf)
+            alloweds.append(sets[i % len(sets)])
+        vec = kernels.batch_interval_probs(bases, alloweds)
+        for i, (b, a) in enumerate(zip(bases, alloweds)):
+            assert vec[i] == b.prob_interval(a), (type(b).__name__, a)
+
+    def test_scalar_fallback_for_unregistered_types(self):
+        bases = [
+            DiscretePdf({0.0: 0.5, 1.0: 0.5}),
+            HistogramPdf([0.0, 1.0, 2.0], [0.4, 0.6]),
+            GaussianPdf(0, 1),
+        ]
+        alloweds = [IntervalSet([Interval(-0.5, 0.5)])] * 3
+        vec = kernels.batch_interval_probs(bases, alloweds)
+        for i, (b, a) in enumerate(zip(bases, alloweds)):
+            assert vec[i] == b.prob_interval(a)
+
+    def test_empty_interval_set_is_zero(self):
+        vec = kernels.batch_interval_probs([GaussianPdf(0, 1)], [IntervalSet([])])
+        assert vec[0] == 0.0
+
+    def test_empty_batch(self):
+        assert len(kernels.batch_interval_probs([], [])) == 0
+
+    def test_infinite_endpoints(self):
+        g = GaussianPdf(0, 1)
+        full = IntervalSet([Interval(-INF, INF)])
+        vec = kernels.batch_interval_probs([g], [full])
+        assert vec[0] == g.prob_interval(full) == 1.0
+
+    def test_clamped_to_unit_interval(self):
+        # Adjacent intervals can accumulate tiny fp excess; the kernel must
+        # clamp exactly like the scalar min/max.
+        g = GaussianPdf(0, 1)
+        tight = IntervalSet([Interval(-9.0, 0.0), Interval(0.0, 9.0)])
+        vec = kernels.batch_interval_probs([g], [tight])
+        assert 0.0 <= vec[0] <= 1.0
+        assert vec[0] == g.prob_interval(tight)
+
+
+class TestBatchMass:
+    def test_matches_scalar_for_floored_and_raw(self):
+        sets = _interval_sets()
+        pdfs = []
+        for i, base in enumerate(_family_zoo()):
+            pdfs.append(FlooredPdf(base, sets[i % len(sets)]))
+        pdfs += _family_zoo()  # raw families: mass exactly 1
+        pdfs.append(DiscretePdf({0.0: 0.3, 2.0: 0.5}))
+        vec = kernels.batch_mass(pdfs)
+        for i, p in enumerate(pdfs):
+            assert vec[i] == p.mass(), repr(p)
+
+    def test_supports_batch_mass(self):
+        assert kernels.supports_batch_mass(GaussianPdf(0, 1))
+        assert kernels.supports_batch_mass(
+            FlooredPdf(UniformPdf(0, 1), IntervalSet([Interval(0.2, 0.8)]))
+        )
+        assert not kernels.supports_batch_mass(DiscretePdf({0.0: 1.0}))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mu=st.floats(-50, 50),
+    sd=st.floats(0.01, 20),
+    lo=st.floats(-100, 100),
+    width=st.floats(0, 100),
+)
+def test_gaussian_kernel_property(mu, sd, lo, width):
+    g = GaussianPdf(mu, sd)
+    allowed = IntervalSet([Interval(lo, lo + width)])
+    vec = kernels.batch_interval_probs([g, g], [allowed, allowed])
+    expected = g.prob_interval(allowed)
+    assert vec[0] == expected
+    assert vec[1] == expected
