@@ -20,6 +20,7 @@ derived pdf's current names.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
@@ -101,13 +102,28 @@ class HistoryStore:
     def __init__(self) -> None:
         self._entries: Dict[AncestorRef, _Entry] = {}
         self._next_tuple_id = 0
+        self._id_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_id_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._id_lock = threading.Lock()
 
     # -- identity ---------------------------------------------------------
 
     def new_tuple_id(self) -> int:
-        """A unique id for a newly inserted base tuple."""
-        self._next_tuple_id += 1
-        return self._next_tuple_id
+        """A unique id for a newly inserted base tuple.
+
+        Locked: join workers in the parallel executor draw ids
+        concurrently, and ``+= 1`` is not atomic under free threading.
+        """
+        with self._id_lock:
+            self._next_tuple_id += 1
+            return self._next_tuple_id
 
     # -- registration -------------------------------------------------------
 

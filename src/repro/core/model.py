@@ -87,6 +87,21 @@ class ModelConfig:
         Tuples per batch in the vectorized executor pipeline.  ``1``
         disables batching (tuple-at-a-time Volcano iteration); larger sizes
         amortize page pins and let same-family pdfs share one kernel sweep.
+    ``workers``
+        Worker count for the morsel-driven parallel executor.  ``1`` (the
+        default) keeps the serial pipeline — bitwise identical to the
+        pre-parallel engine.  Larger values split scans into morsels and
+        joins into partitions, run them on a worker pool, and gather the
+        streams back in deterministic (serial-equivalent) order.
+    ``parallel_backend``
+        ``"thread"`` (default) runs morsels on a thread pool — the numpy /
+        scipy kernel sweeps release the GIL, so batched symbolic workloads
+        overlap.  ``"process"`` forks a process pool per query for
+        pure-python pdf paths; it falls back to threads where ``fork`` is
+        unavailable.
+    ``morsel_size``
+        Target number of tuples per morsel.  Scans round this to whole
+        pages so each morsel decodes an integral page run.
     """
 
     use_history: bool = True
@@ -94,9 +109,27 @@ class ModelConfig:
     mass_epsilon: float = 1e-6
     eager_merge: bool = False
     batch_size: int = 256
+    workers: int = 1
+    parallel_backend: str = "thread"
+    morsel_size: int = 1024
 
 
-DEFAULT_CONFIG = ModelConfig()
+def _config_from_env() -> "ModelConfig":
+    """The process-default config, honoring REPRO_* environment overrides.
+
+    ``REPRO_WORKERS`` / ``REPRO_PARALLEL_BACKEND`` let CI exercise the
+    parallel executor across the whole suite without touching call sites.
+    """
+    import os
+
+    workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    backend = os.environ.get("REPRO_PARALLEL_BACKEND", "thread") or "thread"
+    if workers == 1 and backend == "thread":
+        return ModelConfig()
+    return ModelConfig(workers=workers, parallel_backend=backend)
+
+
+DEFAULT_CONFIG = _config_from_env()
 
 
 DependencySpec = Iterable[Iterable[str]]

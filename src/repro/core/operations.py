@@ -17,6 +17,7 @@ paper's product formula.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -68,6 +69,12 @@ class PdfOpCache:
     operation name and arguments, so structurally identical pdfs share
     entries across tuples, operators and queries.  Hit/miss counters are
     surfaced through the bench reporting layer.
+
+    Thread-safe: the parallel executor's workers share this cache, so every
+    mutation (LRU reordering included — ``move_to_end`` on a dict being
+    resized by another thread corrupts it) happens under one lock.  The
+    lock is excluded from pickling so cached state can cross a ``fork``
+    boundary cleanly.
     """
 
     def __init__(self, maxsize: int = 8192):
@@ -75,49 +82,64 @@ class PdfOpCache:
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._data)
 
     def get(self, key):
         """The cached value, or the internal miss sentinel."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return _MISS
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return _MISS
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key, value) -> None:
         # New keys land at the MRU end by insertion order; puts always follow
         # a miss, so no move_to_end (and its second key hash) is needed.
-        data = self._data
-        data[key] = value
-        while len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            data[key] = value
+            while len(data) > self.maxsize:
+                data.popitem(last=False)
 
     def reset(self) -> None:
         """Drop all entries and zero the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def configure(self, maxsize: int) -> None:
         """Resize the cache (evicting LRU entries if shrinking)."""
-        self.maxsize = int(maxsize)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self.maxsize = int(maxsize)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def stats(self) -> Dict[str, float]:
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._data),
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._data),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
 
 
 #: Process-wide cache shared by every relation, table, and executor plan.

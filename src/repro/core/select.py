@@ -27,7 +27,7 @@ from ..errors import QueryError
 from ..pdf.base import Pdf
 from ..pdf.discrete import CategoricalPdf, DiscretePdf, label_code
 from ..pdf.floors import FlooredPdf
-from ..pdf.kernels import VECTOR_FAMILIES
+from ..pdf.kernels import DISCRETE_VECTOR_FAMILIES, VECTOR_FAMILIES, batch_materialize
 from ..pdf.regions import BoxRegion
 from .history import HistoryStore, Lineage
 from .model import (
@@ -44,6 +44,9 @@ __all__ = ["select", "closure", "SelectionPlan"]
 
 #: exact pdf types the batched selection path gathers for the kernel sweep
 _FAST_TYPES = frozenset(VECTOR_FAMILIES)
+
+#: symbolic discrete families the batched path materializes in one pmf sweep
+_DISCRETE_FAST_TYPES = frozenset(DISCRETE_VECTOR_FAMILIES)
 
 
 def closure(
@@ -186,6 +189,8 @@ class SelectionPlan:
         vec_idx: List[int] = []
         vec_bases: List[Pdf] = []
         vec_allowed: List[object] = []
+        disc_idx: List[int] = []
+        disc_pdfs: List[Pdf] = []
         for i, t in enumerate(tuples):
             pdf = t.pdfs[dep]
             if pdf is None:
@@ -199,8 +204,37 @@ class SelectionPlan:
                 vec_idx.append(i)
                 vec_bases.append(pdf)
                 vec_allowed.append(region_allowed)
+            elif tp in _DISCRETE_FAST_TYPES:
+                disc_idx.append(i)
+                disc_pdfs.append(pdf)
             else:
                 results[i] = self.apply(t, store)
+
+        if disc_idx:
+            # Symbolic discrete pdfs: share the pmf materialization sweep,
+            # then replay the scalar tail of :meth:`apply` verbatim —
+            # ``restrict`` keeps the surviving support explicit, and the
+            # floored mass goes through the same pdf-op cache keys.
+            mats = batch_materialize(disc_pdfs)
+            epsilon = self.config.mass_epsilon
+            merged_set = self._merged_set
+            untouched = self._untouched
+            for i, mat in zip(disc_idx, mats):
+                t = tuples[i]
+                floored = mat.restrict(self._region)
+                if cached_mass(floored) <= epsilon:
+                    continue
+                new_certain = {
+                    k: v for k, v in t.certain.items() if k not in merged_set
+                }
+                new_pdfs = {s: t.pdfs[s] for s in untouched}
+                new_lineage = {s: t.lineage[s] for s in untouched}
+                new_pdfs[merged_set] = floored
+                new_lineage[merged_set] = t.lineage[dep]
+                results[i] = ProbabilisticTuple(
+                    t.tuple_id, new_certain, new_pdfs, new_lineage
+                )
+
         if not vec_idx:
             return results
 

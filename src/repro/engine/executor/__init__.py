@@ -17,6 +17,15 @@ from .relational import (
     ThresholdFilter,
 )
 from .scan import BTreeScan, PtiScan, RelationScan, SeqScan, SpatialScan
+from .parallel import (
+    Exchange,
+    Gather,
+    ParallelHashJoin,
+    ParallelNestedLoopJoin,
+    last_run_stats,
+    parallelize_plan,
+    reset_run_stats,
+)
 
 __all__ = [
     "Operator",
@@ -44,4 +53,11 @@ __all__ = [
     "AggSpec",
     "GroupAggregate",
     "Distinct",
+    "Exchange",
+    "Gather",
+    "ParallelHashJoin",
+    "ParallelNestedLoopJoin",
+    "parallelize_plan",
+    "reset_run_stats",
+    "last_run_stats",
 ]

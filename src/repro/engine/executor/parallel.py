@@ -1,0 +1,704 @@
+"""Morsel-driven parallel execution over the batch pipeline.
+
+The paper's operators are embarrassingly parallel across tuples once
+batched: selection floors, PROB thresholds and projection are per-tuple,
+and the vectorized probability kernels already process whole batches per
+call.  This module splits a plan into *morsels* — page-grain fragments of
+the leaf scans — and runs the per-morsel operator chain
+(``Scan -> Filter/Threshold -> Project``) on a worker pool:
+
+* :func:`parallelize_plan` rewrites an operator tree for
+  ``ModelConfig.workers > 1``.  Maximal chains of order-preserving
+  per-tuple operators over a splittable scan become a
+  :class:`Gather` over an :class:`Exchange`; hash joins become a
+  partitioned parallel build+probe; nested-loop joins parallelize over
+  left morsels against a shared materialized right.  Blocking operators
+  (sorts, limits, aggregates) stay serial with their inputs rewritten.
+* :class:`Exchange` runs one plan-fragment clone per morsel on the pool
+  and emits the fragment outputs **in morsel index order** — the morsels
+  partition the scan in page order, and every chained operator is
+  element-wise, so the concatenation equals the serial output exactly
+  (tuple ids included).
+* Parallel joins tag each surviving pair with its ``(left_seq,
+  right_seq)`` position, sort the merged stream by tag (reproducing the
+  serial probe order) and renumber tuple ids deterministically at the
+  gather.  Join output ids differ from the serial pipeline's — serial
+  draws an id per *candidate* pair — but are identical across worker
+  counts.
+
+Backends: ``"thread"`` (default) uses a thread pool — the numpy/scipy
+kernel sweeps release the GIL, so batched symbolic workloads overlap;
+``"process"`` forks a pool per exchange for pure-python pdf paths (tasks
+are inherited through ``fork``; only results are pickled back).  Where
+``fork`` is unavailable the process backend silently degrades to threads.
+
+``workers=1`` never rewrites anything: the plan runs the exact PR-2
+pipeline, bitwise identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...core.model import ModelConfig, ProbabilisticTuple
+from .aggregate import Aggregate, Distinct, GroupAggregate
+from .base import Operator
+from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
+from .relational import (
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    ProbFilter,
+    Project,
+    RenameOp,
+    Scalarize,
+    Sort,
+    SortByProbability,
+    ThresholdFilter,
+    _merge_pair,
+    _rename_tuple,
+)
+from .scan import BTreeScan, PtiScan, RelationScan, SeqScan, SpatialScan
+
+__all__ = [
+    "Exchange",
+    "Gather",
+    "ParallelHashJoin",
+    "ParallelNestedLoopJoin",
+    "parallelize_plan",
+    "reset_run_stats",
+    "last_run_stats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Per-run statistics
+# ---------------------------------------------------------------------------
+
+_STATS_LOCK = threading.Lock()
+_RUN_STATS: List[Dict] = []
+
+
+def reset_run_stats() -> None:
+    """Clear the per-query fragment statistics (called by execute_plan)."""
+    with _STATS_LOCK:
+        _RUN_STATS.clear()
+
+
+def _record_stats(entries: Sequence[Dict]) -> None:
+    with _STATS_LOCK:
+        _RUN_STATS.extend(entries)
+
+
+def last_run_stats() -> Optional[Dict]:
+    """Aggregated morsel/worker statistics of the last parallel run.
+
+    ``None`` when the last query ran serially.  The per-worker rows feed
+    the bench reporting layer (``print_parallel_stats``).
+    """
+    with _STATS_LOCK:
+        entries = list(_RUN_STATS)
+    if not entries:
+        return None
+    workers: Dict[str, Dict[str, float]] = {}
+    for e in entries:
+        row = workers.setdefault(
+            e["worker"], {"morsels": 0, "tuples": 0, "elapsed": 0.0}
+        )
+        row["morsels"] += 1
+        row["tuples"] += e["tuples"]
+        row["elapsed"] += e["elapsed"]
+    return {
+        "morsels": len(entries),
+        "tuples": sum(e["tuples"] for e in entries),
+        "busy_time": sum(e["elapsed"] for e in entries),
+        "stages": sorted({e["stage"] for e in entries}),
+        "per_worker": workers,
+    }
+
+
+def _worker_name() -> str:
+    return f"pid{os.getpid()}/{threading.current_thread().name}"
+
+
+# ---------------------------------------------------------------------------
+# The worker pool
+# ---------------------------------------------------------------------------
+
+#: Task registry inherited by forked children; only indices cross the pipe.
+_FORK_TASKS: List[Callable] = []
+
+
+def _call_fork_task(i: int):
+    return _FORK_TASKS[i]()
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+        return True
+    except ValueError:
+        return False
+
+
+class _WorkerPool:
+    """Runs zero-arg tasks and returns their payloads in submission order.
+
+    Every task returns ``(payload, stats_entry)``; stats are recorded
+    centrally so the fork backend (where children cannot reach the parent's
+    collector) behaves like the thread backend.
+    """
+
+    def __init__(self, config: ModelConfig):
+        self.workers = max(1, int(getattr(config, "workers", 1) or 1))
+        backend = getattr(config, "parallel_backend", "thread") or "thread"
+        if backend == "process" and not _fork_available():
+            backend = "thread"
+        self.backend = backend
+
+    def run_ordered(self, tasks: Sequence[Callable]) -> List:
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            results = [task() for task in tasks]
+        elif self.backend == "process":
+            results = self._run_forked(tasks)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(tasks))
+            ) as pool:
+                futures = [pool.submit(task) for task in tasks]
+                results = [f.result() for f in futures]
+        _record_stats([stats for _, stats in results])
+        return [payload for payload, _ in results]
+
+    def _run_forked(self, tasks: Sequence[Callable]) -> List:
+        ctx = multiprocessing.get_context("fork")
+        global _FORK_TASKS
+        previous = _FORK_TASKS
+        _FORK_TASKS = list(tasks)
+        try:
+            with ctx.Pool(processes=min(self.workers, len(tasks))) as pool:
+                return pool.map(_call_fork_task, range(len(tasks)))
+        finally:
+            _FORK_TASKS = previous
+
+
+# ---------------------------------------------------------------------------
+# Morsel scans: leaf fragments over a subset of the input
+# ---------------------------------------------------------------------------
+
+
+class _PageMorselScan(Operator):
+    """SeqScan restricted to a page-id subset (one morsel)."""
+
+    def __init__(self, table, page_ids: List[int]):
+        self.table = table
+        self.page_ids = page_ids
+        self.output_schema = table.schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return flatten(self.batches())
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        for chunk in self.table.scan_batches(size, page_ids=self.page_ids):
+            yield TupleBatch(chunk)
+
+    def label(self) -> str:
+        return f"PageMorselScan({self.table.name}, {len(self.page_ids)} pages)"
+
+
+class _ListMorselScan(Operator):
+    """RelationScan restricted to a tuple slice (one morsel)."""
+
+    def __init__(self, tuples: List[ProbabilisticTuple], schema):
+        self.tuples = tuples
+        self.output_schema = schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return iter(self.tuples)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        for start in range(0, len(self.tuples), size):
+            yield TupleBatch(self.tuples[start : start + size])
+
+    def label(self) -> str:
+        return f"ListMorselScan({len(self.tuples)} tuples)"
+
+
+class _RidMorselScan(Operator):
+    """Index scan restricted to an RID subset (one morsel, order-preserving)."""
+
+    def __init__(self, table, rids: List, schema):
+        self.table = table
+        self.rids = rids
+        self.output_schema = schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return self.table.read_grouped(iter(self.rids))
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return batched(iter(self), size)
+
+    def label(self) -> str:
+        return f"RidMorselScan({self.table.name}, {len(self.rids)} rids)"
+
+
+def _chunk_size(total: int, workers: int, morsel_size: int) -> int:
+    """Items per morsel: the configured target, capped so that every worker
+    gets work whenever the input is large enough."""
+    per = max(1, int(morsel_size))
+    return max(1, min(per, math.ceil(total / max(1, workers))))
+
+
+def _split_source(
+    leaf: Operator, config: ModelConfig
+) -> Optional[List[Callable[[], Operator]]]:
+    """Factories producing one morsel-scan per fragment, in input order.
+
+    ``None`` means the leaf is not splittable (unknown type, or too small
+    to be worth fanning out); the caller keeps the chain serial.  The
+    factories are lazy so index-scan RID lists materialize at run time,
+    not at plan time.
+    """
+    workers = config.workers
+    if isinstance(leaf, SeqScan):
+        table = leaf.table
+        page_ids = list(table.heap.page_ids)
+        if len(page_ids) < 2:
+            return None
+        rows_per_page = max(1.0, len(table.heap) / len(page_ids))
+        per = _chunk_size(
+            len(page_ids), workers, max(1, int(config.morsel_size / rows_per_page))
+        )
+        chunks = [page_ids[i : i + per] for i in range(0, len(page_ids), per)]
+        if len(chunks) < 2:
+            return None
+        return [
+            (lambda c=chunk: _PageMorselScan(table, c)) for chunk in chunks
+        ]
+    if isinstance(leaf, RelationScan):
+        tuples = leaf.relation.tuples
+        if len(tuples) < 2:
+            return None
+        per = _chunk_size(len(tuples), workers, config.morsel_size)
+        chunks = [tuples[i : i + per] for i in range(0, len(tuples), per)]
+        if len(chunks) < 2:
+            return None
+        schema = leaf.output_schema
+        return [
+            (lambda c=chunk: _ListMorselScan(c, schema)) for chunk in chunks
+        ]
+    if isinstance(leaf, (BTreeScan, PtiScan, SpatialScan)):
+        rids = list(leaf._rids())
+        if len(rids) < 2:
+            return None
+        per = _chunk_size(len(rids), workers, config.morsel_size)
+        chunks = [rids[i : i + per] for i in range(0, len(rids), per)]
+        if len(chunks) < 2:
+            return None
+        table, schema = leaf.table, leaf.output_schema
+        return [
+            (lambda c=chunk: _RidMorselScan(table, c, schema)) for chunk in chunks
+        ]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Exchange / Gather
+# ---------------------------------------------------------------------------
+
+
+def _rebuild_chain(chain: Sequence[Operator], source: Operator) -> Operator:
+    """Re-child a (top-down) chain of per-tuple operators onto ``source``.
+
+    Shallow copies share the precomputed plans (SelectionPlan etc.) —
+    they are read-only during execution, so fragment clones can share
+    them across workers.
+    """
+    plan = source
+    for op in reversed(chain):
+        clone = copy.copy(op)
+        clone.child = plan
+        plan = clone
+    return plan
+
+
+class Exchange(Operator):
+    """Runs one per-morsel fragment per worker and merges the streams.
+
+    Each fragment is the operator chain re-built over one morsel scan.
+    Fragment outputs are emitted in **morsel index order** — since the
+    morsels partition the input in scan order and every chained operator
+    is per-tuple and order-preserving, that concatenation equals the
+    serial pipeline output exactly.
+    """
+
+    def __init__(
+        self,
+        chain: Sequence[Operator],
+        fragment_factories: Sequence[Callable[[], Operator]],
+        config: ModelConfig,
+        source: Optional[Operator] = None,
+    ):
+        self.chain = list(chain)
+        self.fragment_factories = list(fragment_factories)
+        self.config = config
+        self.source = source
+        self.output_schema = (
+            self.chain[0].output_schema
+            if self.chain
+            else (source.output_schema if source is not None else None)
+        )
+
+    def fragment_outputs(self, size: int) -> List[List[ProbabilisticTuple]]:
+        """One tuple-list per morsel, in morsel order (pool-executed)."""
+        chain = self.chain
+        stage = self.label()
+
+        def make_task(index: int, factory: Callable[[], Operator]):
+            def run():
+                start = time.perf_counter()
+                fragment = _rebuild_chain(chain, factory())
+                tuples = [t for batch in fragment.batches(size) for t in batch.tuples]
+                return tuples, {
+                    "worker": _worker_name(),
+                    "morsel": index,
+                    "tuples": len(tuples),
+                    "elapsed": time.perf_counter() - start,
+                    "stage": stage,
+                }
+
+            return run
+
+        tasks = [make_task(i, f) for i, f in enumerate(self.fragment_factories)]
+        return _WorkerPool(self.config).run_ordered(tasks)
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        for tuples in self.fragment_outputs(self.config.batch_size or DEFAULT_BATCH_SIZE):
+            yield from tuples
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        return batched(iter(self), size)
+
+    def children(self) -> List[Operator]:
+        return [self.source] if self.source is not None else []
+
+    def label(self) -> str:
+        inner = " -> ".join(type(op).__name__ for op in reversed(self.chain)) or "Scan"
+        return (
+            f"Exchange({len(self.fragment_factories)} morsels x {inner}, "
+            f"{self.config.workers} workers)"
+        )
+
+
+class Gather(Operator):
+    """Merge point above an :class:`Exchange`: re-chunks the ordered
+    fragment streams into pipeline batches.
+
+    The determinism guarantee lives here: fragments arrive in morsel
+    index order regardless of worker scheduling, so downstream operators
+    observe the same tuple sequence as the serial pipeline.
+    """
+
+    def __init__(self, exchange: Exchange):
+        self.exchange = exchange
+        self.output_schema = exchange.output_schema
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return iter(self.exchange)
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        buf: List[ProbabilisticTuple] = []
+        for tuples in self.exchange.fragment_outputs(size):
+            buf.extend(tuples)
+            while len(buf) >= size:
+                yield TupleBatch(buf[:size])
+                buf = buf[size:]
+        if buf:
+            yield TupleBatch(buf)
+
+    def children(self) -> List[Operator]:
+        return [self.exchange]
+
+    def label(self) -> str:
+        return "Gather(ordered)"
+
+
+# ---------------------------------------------------------------------------
+# Parallel joins
+# ---------------------------------------------------------------------------
+
+
+def _join_pairs_task(
+    plan,
+    store,
+    left_part: List[Tuple[int, ProbabilisticTuple]],
+    right_buckets: Dict[object, List[Tuple[int, ProbabilisticTuple]]],
+    left_key: str,
+    size: int,
+    index: int,
+    stage: str,
+):
+    """Probe one partition: pair, select, and tag the survivors.
+
+    Pairs carry a placeholder tuple id (0); the gather renumbers the
+    sorted survivor stream so ids are deterministic and unique.  Output
+    tags are ``(left_seq, right_seq)`` — the serial pipeline probes left
+    tuples in order and bucket entries in right-scan order, so sorting
+    the merged tags reproduces its output order exactly.
+    """
+
+    def run():
+        start = time.perf_counter()
+        out: List[Tuple[int, int, ProbabilisticTuple]] = []
+        tags: List[Tuple[int, int]] = []
+        pending: List[ProbabilisticTuple] = []
+
+        def drain():
+            results = plan.apply_batch(pending, store)
+            for tag, result in zip(tags, results):
+                if result is not None:
+                    out.append((tag[0], tag[1], result))
+            del tags[:], pending[:]
+
+        for lseq, tl in left_part:
+            key = tl.certain.get(left_key)
+            if key is None:
+                continue
+            for rseq, tr in right_buckets.get(key, ()):
+                tags.append((lseq, rseq))
+                pending.append(_merge_pair(tl, tr, 0))
+                if len(pending) >= size:
+                    drain()
+        if pending:
+            drain()
+        return out, {
+            "worker": _worker_name(),
+            "morsel": index,
+            "tuples": len(out),
+            "elapsed": time.perf_counter() - start,
+            "stage": stage,
+        }
+
+    return run
+
+
+class _ParallelJoinBase(Operator):
+    """Shared gather logic: sort survivor tags, renumber, re-chunk."""
+
+    join: Operator
+
+    def __init__(self, join: Operator, config: ModelConfig):
+        self.join = join
+        self.config = config
+        self.output_schema = join.output_schema
+
+    def _gather(
+        self, tagged: List[List[Tuple[int, int, ProbabilisticTuple]]], size: int
+    ) -> Iterator[TupleBatch]:
+        merged = [item for part in tagged for item in part]
+        merged.sort(key=lambda item: (item[0], item[1]))
+        store = self.join.store
+        out: List[ProbabilisticTuple] = []
+        for _, _, t in merged:
+            t.tuple_id = store.new_tuple_id()
+            out.append(t)
+        for start in range(0, len(out), size):
+            yield TupleBatch(out[start : start + size])
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return flatten(self.batches(self.config.batch_size or DEFAULT_BATCH_SIZE))
+
+    def children(self) -> List[Operator]:
+        return self.join.children()
+
+
+class ParallelHashJoin(_ParallelJoinBase):
+    """Partitioned parallel hash join: both sides are split by the hash of
+    the certain key, one worker builds and probes each partition."""
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        join = self.join
+        left = list(flatten(join.left.batches(size)))
+        right = list(flatten(join.right.batches(size)))
+        probe_key = join._renames.get(join.right_key, join.right_key)
+        partitions = max(1, min(self.config.workers, len(left) or 1))
+
+        left_parts: List[List[Tuple[int, ProbabilisticTuple]]] = [
+            [] for _ in range(partitions)
+        ]
+        for seq, tl in enumerate(left):
+            key = tl.certain.get(join.left_key)
+            if key is not None:
+                left_parts[hash(key) % partitions].append((seq, tl))
+
+        right_parts: List[Dict[object, List[Tuple[int, ProbabilisticTuple]]]] = [
+            {} for _ in range(partitions)
+        ]
+        for seq, tr in enumerate(right):
+            renamed = _rename_tuple(tr, join._renames)
+            key = renamed.certain.get(probe_key)
+            if key is not None:
+                right_parts[hash(key) % partitions].setdefault(key, []).append(
+                    (seq, renamed)
+                )
+
+        stage = self.label()
+        tasks = [
+            _join_pairs_task(
+                join.plan,
+                join.store,
+                left_parts[p],
+                right_parts[p],
+                join.left_key,
+                size,
+                p,
+                stage,
+            )
+            for p in range(partitions)
+            if left_parts[p] and right_parts[p]
+        ]
+        tagged = _WorkerPool(self.config).run_ordered(tasks)
+        yield from self._gather(tagged, size)
+
+    def label(self) -> str:
+        join = self.join
+        return (
+            f"ParallelHashJoin({join.left_key} = {join.right_key}, "
+            f"{self.config.workers} workers)"
+        )
+
+
+class ParallelNestedLoopJoin(_ParallelJoinBase):
+    """Nested-loop join parallelized over left morsels; the right side is
+    materialized (and renamed) once and shared by every worker."""
+
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        join = self.join
+        inner = [
+            _rename_tuple(t, join._renames)
+            for t in flatten(join.right.batches(size))
+        ]
+        left = list(flatten(join.left.batches(size)))
+        per = _chunk_size(len(left), self.config.workers, self.config.morsel_size)
+
+        stage = self.label()
+        tasks = []
+        for index, start in enumerate(range(0, len(left), per)):
+            chunk = [(start + k, tl) for k, tl in enumerate(left[start : start + per])]
+            tasks.append(
+                _nested_loop_task(
+                    join.plan, join.store, chunk, inner, size, index, stage
+                )
+            )
+        tagged = _WorkerPool(self.config).run_ordered(tasks)
+        yield from self._gather(tagged, size)
+
+    def label(self) -> str:
+        return f"ParallelNestedLoopJoin({self.config.workers} workers)"
+
+
+def _nested_loop_task(
+    plan,
+    store,
+    left_chunk: List[Tuple[int, ProbabilisticTuple]],
+    inner: List[ProbabilisticTuple],
+    size: int,
+    index: int,
+    stage: str,
+):
+    def run():
+        start = time.perf_counter()
+        out: List[Tuple[int, int, ProbabilisticTuple]] = []
+        tags: List[Tuple[int, int]] = []
+        pending: List[ProbabilisticTuple] = []
+
+        def drain():
+            results = plan.apply_batch(pending, store)
+            for tag, result in zip(tags, results):
+                if result is not None:
+                    out.append((tag[0], tag[1], result))
+            del tags[:], pending[:]
+
+        for lseq, tl in left_chunk:
+            for rseq, tr in enumerate(inner):
+                tags.append((lseq, rseq))
+                pending.append(_merge_pair(tl, tr, 0))
+                if len(pending) >= size:
+                    drain()
+        if pending:
+            drain()
+        return out, {
+            "worker": _worker_name(),
+            "morsel": index,
+            "tuples": len(out),
+            "elapsed": time.perf_counter() - start,
+            "stage": stage,
+        }
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Plan rewriting
+# ---------------------------------------------------------------------------
+
+#: Per-tuple, order-preserving operators safe to clone into morsel fragments.
+_MAPPABLE = (Filter, Project, Scalarize, RenameOp, ProbFilter, ThresholdFilter)
+
+#: Single-child operators that must see the whole input (kept serial).
+_BLOCKING = (Sort, SortByProbability, Limit, Distinct, Aggregate, GroupAggregate)
+
+
+def parallelize_plan(plan: Operator, config: ModelConfig) -> Operator:
+    """Rewrite ``plan`` for morsel-driven parallel execution.
+
+    Identity when ``config.workers <= 1`` or nothing in the tree is
+    splittable.  The rewritten plan produces the same tuple stream as the
+    input plan (join tuple ids excepted — see the module docstring).
+    """
+    if getattr(config, "workers", 1) <= 1:
+        return plan
+
+    chain: List[Operator] = []
+    cur = plan
+    while isinstance(cur, _MAPPABLE):
+        chain.append(cur)
+        cur = cur.child
+
+    fragments = _split_source(cur, config)
+    if fragments is not None:
+        return Gather(Exchange(chain, fragments, config, source=cur))
+
+    if isinstance(cur, HashJoin):
+        return _rebuild_chain(
+            chain, ParallelHashJoin(_rechild_join(cur, config), config)
+        )
+    if isinstance(cur, NestedLoopJoin):
+        return _rebuild_chain(
+            chain, ParallelNestedLoopJoin(_rechild_join(cur, config), config)
+        )
+    if isinstance(cur, _BLOCKING):
+        clone = copy.copy(cur)
+        clone.child = parallelize_plan(cur.child, config)
+        return _rebuild_chain(chain, clone)
+    # Unsplittable leaf (tiny table, unknown operator): keep serial.
+    return plan
+
+
+def _rechild_join(join: Operator, config: ModelConfig) -> Operator:
+    """Clone a join with its inputs parallelized (materialization of each
+    side then runs through Gather/Exchange too)."""
+    clone = copy.copy(join)
+    clone.left = parallelize_plan(join.left, config)
+    clone.right = parallelize_plan(join.right, config)
+    return clone

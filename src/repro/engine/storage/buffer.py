@@ -7,12 +7,17 @@ the working set exceeds the pool, proportionally more *physical* reads.
 The pool exposes both logical and physical counters so benchmarks can
 report each.
 
-Single-threaded by design (as is the whole engine): no latches, no pin
-counts — an operator holds a page only within one ``get_page`` call.
+One coarse latch guards the frame table: the morsel-driven parallel
+executor's scan workers share the pool, and the LRU bookkeeping
+(``move_to_end`` racing ``popitem``) is not safe to interleave.  There are
+still no pin counts — an operator holds a page only within one
+``get_page`` call, and the page bytes themselves are read-only during
+query execution.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Type
@@ -55,39 +60,52 @@ class BufferPool:
         self.stats = BufferStats()
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._jumbo: Dict[int, bool] = {}  # page_id -> decoded as JumboPage?
+        self._latch = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_latch"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._latch = threading.RLock()
 
     # -- page lifecycle ------------------------------------------------------
 
     def new_page(self, jumbo_record: Optional[bytes] = None) -> int:
         """Allocate a fresh page (ordinary, or jumbo for one big record)."""
-        page_id = self.disk.allocate()
-        if jumbo_record is None:
-            page = Page(size=self.disk.page_size)
-        else:
-            page = JumboPage.for_record(jumbo_record, self.disk.page_size)
-        page.dirty = True
-        self._jumbo[page_id] = jumbo_record is not None
-        self._admit(page_id, page)
-        return page_id
+        with self._latch:
+            page_id = self.disk.allocate()
+            if jumbo_record is None:
+                page = Page(size=self.disk.page_size)
+            else:
+                page = JumboPage.for_record(jumbo_record, self.disk.page_size)
+            page.dirty = True
+            self._jumbo[page_id] = jumbo_record is not None
+            self._admit(page_id, page)
+            return page_id
 
     def get_page(self, page_id: int) -> Page:
         """Fetch a page, reading it from disk on a miss."""
-        page = self._frames.get(page_id)
-        if page is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
+        with self._latch:
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return page
+            self.stats.misses += 1
+            data = self.disk.read_page(page_id)
+            cls: Type[Page] = JumboPage if self._jumbo.get(page_id, False) else Page
+            page = cls(data=data)
+            self._admit(page_id, page)
             return page
-        self.stats.misses += 1
-        data = self.disk.read_page(page_id)
-        cls: Type[Page] = JumboPage if self._jumbo.get(page_id, False) else Page
-        page = cls(data=data)
-        self._admit(page_id, page)
-        return page
 
     def mark_dirty(self, page_id: int) -> None:
-        page = self._frames.get(page_id)
-        if page is not None:
-            page.dirty = True
+        with self._latch:
+            page = self._frames.get(page_id)
+            if page is not None:
+                page.dirty = True
 
     def _admit(self, page_id: int, page: Page) -> None:
         while len(self._frames) >= self.capacity:
@@ -102,16 +120,18 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write every dirty cached page back to disk."""
-        for page_id, page in self._frames.items():
-            if page.dirty:
-                self.disk.write_page(page_id, bytes(page.data))
-                page.dirty = False
-                self.stats.flushes += 1
+        with self._latch:
+            for page_id, page in self._frames.items():
+                if page.dirty:
+                    self.disk.write_page(page_id, bytes(page.data))
+                    page.dirty = False
+                    self.stats.flushes += 1
 
     def clear(self) -> None:
         """Flush and drop every cached frame (cold-cache benchmarks)."""
-        self.flush_all()
-        self._frames.clear()
+        with self._latch:
+            self.flush_all()
+            self._frames.clear()
 
     def reset_stats(self) -> None:
         self.stats.reset()

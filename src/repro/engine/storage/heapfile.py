@@ -9,7 +9,7 @@ by :class:`RID` (page id, slot) — the handles stored inside indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ...errors import StorageError
 from .buffer import BufferPool
@@ -111,13 +111,27 @@ class HeapFile:
             for slot, record in page.records():
                 yield RID(page_id, slot), record
 
-    def scan_pages(self) -> Iterator[List[Tuple[RID, bytes]]]:
+    def scan_pages(
+        self, page_ids: Optional[Sequence[int]] = None
+    ) -> Iterator[List[Tuple[RID, bytes]]]:
         """Yield the live records one whole page at a time.
 
         Each yielded list is decoded from a single pinned page, so the page
         is fetched from the buffer pool exactly once per visit regardless of
-        how many records it holds.
+        how many records it holds.  ``page_ids`` restricts the scan to a
+        subset of the file's pages (in the order given) — the morsel-driven
+        parallel executor hands each worker a page-range slice of
+        ``self.page_ids`` so that the concatenation over workers equals the
+        full scan.
         """
-        for page_id in self.page_ids:
+        if page_ids is None:
+            page_ids = self.page_ids
+        else:
+            unknown = [p for p in page_ids if p not in self._page_set]
+            if unknown:
+                raise StorageError(
+                    f"pages {unknown} do not belong to heap file {self.name!r}"
+                )
+        for page_id in page_ids:
             page = self.pool.get_page(page_id)
             yield [(RID(page_id, slot), record) for slot, record in page.records()]

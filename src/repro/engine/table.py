@@ -130,14 +130,19 @@ class Table:
             t, _ = decode_tuple(record)
             yield rid, t
 
-    def scan_batches(self, size: int) -> Iterator[list]:
+    def scan_batches(
+        self, size: int, page_ids: Optional[list] = None
+    ) -> Iterator[list]:
         """Sequential scan yielding lists of at most ``size`` decoded tuples.
 
         A whole pinned page is decoded per buffer-pool fetch; page contents
         are re-chunked to the requested batch size without changing order.
+        ``page_ids`` restricts the scan to a page subset (a morsel of the
+        parallel executor); concatenating the outputs of a partition of
+        ``heap.page_ids`` reproduces the full scan exactly.
         """
         buf: list = []
-        for records in self.heap.scan_pages():
+        for records in self.heap.scan_pages(page_ids):
             for _rid, record in records:
                 buf.append(decode_tuple(record)[0])
                 if len(buf) >= size:

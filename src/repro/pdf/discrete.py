@@ -14,6 +14,7 @@ which is how missing tuples are encoded (Table IV, second block).
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
@@ -217,17 +218,23 @@ class DiscretePdf(UnivariatePdf):
 #: code space makes codes comparable across columns, tuples and relations,
 #: which is what lets `annotation = 'person'` and `a.label = b.label`
 #: predicates work uniformly through the numeric region machinery.
+#: Interning is locked: parallel-executor workers may intern new labels
+#: concurrently, and check-then-append would hand out duplicate codes.
 _LABEL_CODES: Dict[str, int] = {}
 _LABELS: List[str] = []
+_LABEL_LOCK = threading.Lock()
 
 
 def label_code(label: str) -> float:
     """Intern a label and return its stable numeric code."""
     code = _LABEL_CODES.get(label)
     if code is None:
-        code = len(_LABELS)
-        _LABEL_CODES[label] = code
-        _LABELS.append(label)
+        with _LABEL_LOCK:
+            code = _LABEL_CODES.get(label)
+            if code is None:
+                code = len(_LABELS)
+                _LABEL_CODES[label] = code
+                _LABELS.append(label)
     return float(code)
 
 
@@ -326,6 +333,14 @@ class SymbolicDiscretePdf(UnivariatePdf):
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.attrs, tuple(sorted(self._params.items()))))
+
+    def _fingerprint(self):
+        return (
+            "symdisc",
+            type(self).__name__,
+            self.attrs,
+            tuple(sorted(self._params.items())),
+        )
 
     def materialize(self) -> DiscretePdf:
         """Explicit value:probability pairs covering mass >= 1 - 1e-12."""

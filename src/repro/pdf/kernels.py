@@ -1,9 +1,10 @@
 """Vectorized probability kernels for batches of symbolic pdfs.
 
 The batch executor gathers the parameters of same-family symbolic pdfs
-(Gaussian, Uniform, Exponential) into numpy arrays and evaluates all
-interval probabilities with one ufunc sweep instead of N scipy object
-round-trips.  The kernels are *bitwise-identical* to the scalar paths:
+(continuous: Gaussian, Uniform, Exponential; discrete: Bernoulli, Binomial,
+Poisson) into numpy arrays and evaluates all interval probabilities with one
+ufunc sweep instead of N scipy object round-trips.  The kernels are
+*bitwise-identical* to the scalar paths:
 
 * scalar :meth:`ContinuousPdf.prob_interval` accumulates
   ``total += float(cdf(hi) - cdf(lo))`` per interval, left to right, then
@@ -22,19 +23,28 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
-from scipy import special
+from scipy import special, stats
 
 from .base import Pdf, UnivariatePdf
 from .continuous import ExponentialPdf, GaussianPdf, UniformPdf
+from .discrete import (
+    BernoulliPdf,
+    BinomialPdf,
+    DiscretePdf,
+    PoissonPdf,
+    SymbolicDiscretePdf,
+)
 from .floors import FlooredPdf
 from .regions import BoxRegion, IntervalSet
 
 __all__ = [
     "VECTOR_FAMILIES",
+    "DISCRETE_VECTOR_FAMILIES",
     "kernel_family",
     "supports_batch_mass",
     "batch_interval_probs",
     "batch_mass",
+    "batch_materialize",
 ]
 
 
@@ -63,11 +73,114 @@ VECTOR_FAMILIES: Dict[type, Callable[[Sequence[UnivariatePdf], np.ndarray, np.nd
 }
 
 
+# ---------------------------------------------------------------------------
+# Discrete symbolic families: vectorized materialization
+# ---------------------------------------------------------------------------
+#
+# ``SymbolicDiscretePdf`` answers interval probabilities by materializing an
+# explicit DiscretePdf first (see ``materialize``):
+#
+#     lo, hi = dist.support();  hi = ppf(1 - 1e-12) if infinite
+#     values = np.arange(int(lo), int(hi) + 1);  probs = dist.pmf(values)
+#
+# The batch path below replays exactly those steps, but evaluates the pmf of
+# every same-family pdf in the group with ONE scipy ufunc sweep over the
+# concatenated supports.  Frozen scipy distributions delegate to the
+# class-level ufuncs (``stats.binom(n, p).pmf(x) == stats.binom.pmf(x, n, p)``
+# element for element), so the batched probabilities are bitwise-identical
+# to the scalar ones.
+
+
+def _bernoulli_support(pdfs: Sequence[BernoulliPdf]) -> Tuple[np.ndarray, np.ndarray]:
+    n = len(pdfs)
+    return np.zeros(n, dtype=np.int64), np.ones(n, dtype=np.int64)
+
+
+def _bernoulli_pmf(pdfs: Sequence[BernoulliPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    p = np.array([f._params["p"] for f in pdfs])
+    return np.asarray(stats.bernoulli.pmf(xs, p[seg]))
+
+
+def _binomial_support(pdfs: Sequence[BinomialPdf]) -> Tuple[np.ndarray, np.ndarray]:
+    his = np.array([int(f._params["n"]) for f in pdfs], dtype=np.int64)
+    return np.zeros(len(pdfs), dtype=np.int64), his
+
+
+def _binomial_pmf(pdfs: Sequence[BinomialPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    n = np.array([int(f._params["n"]) for f in pdfs])
+    p = np.array([f._params["p"] for f in pdfs])
+    return np.asarray(stats.binom.pmf(xs, n[seg], p[seg]))
+
+
+def _poisson_support(pdfs: Sequence[PoissonPdf]) -> Tuple[np.ndarray, np.ndarray]:
+    rates = np.array([f._params["rate"] for f in pdfs])
+    # Scalar path: support() is (0, inf), truncated at ppf(1 - 1e-12).
+    his = np.asarray(stats.poisson.ppf(1.0 - 1e-12, rates))
+    return np.zeros(len(pdfs), dtype=np.int64), his.astype(np.int64)
+
+
+def _poisson_pmf(pdfs: Sequence[PoissonPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    rates = np.array([f._params["rate"] for f in pdfs])
+    return np.asarray(stats.poisson.pmf(xs, rates[seg]))
+
+
+#: family type -> (vectorized support bounds, vectorized pmf over
+#: (pdfs, segment index per value, values))
+DISCRETE_VECTOR_FAMILIES: Dict[type, Tuple[Callable, Callable]] = {
+    BernoulliPdf: (_bernoulli_support, _bernoulli_pmf),
+    BinomialPdf: (_binomial_support, _binomial_pmf),
+    PoissonPdf: (_poisson_support, _poisson_pmf),
+}
+
+
+def batch_materialize(pdfs: Sequence[SymbolicDiscretePdf]) -> List[DiscretePdf]:
+    """``pdf.materialize()`` for each symbolic discrete pdf.
+
+    Registered families (Bernoulli, Binomial, Poisson) share one pmf ufunc
+    sweep over their concatenated integer supports; anything else falls back
+    to the scalar method.  Element-wise bitwise-identical to ``materialize``.
+    """
+    out: List[DiscretePdf] = [None] * len(pdfs)  # type: ignore[list-item]
+    groups: Dict[type, List[int]] = {}
+    for i, pdf in enumerate(pdfs):
+        fam = type(pdf)
+        if fam in DISCRETE_VECTOR_FAMILIES:
+            groups.setdefault(fam, []).append(i)
+        else:
+            out[i] = pdf.materialize()
+    for fam, idxs in groups.items():
+        support_fn, pmf_fn = DISCRETE_VECTOR_FAMILIES[fam]
+        group = [pdfs[i] for i in idxs]
+        los, his = support_fn(group)
+        counts = (his - los + 1).astype(np.intp)
+        starts = np.zeros(len(group), dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        total = int(starts[-1] + counts[-1]) if len(group) else 0
+        seg = np.repeat(np.arange(len(group), dtype=np.intp), counts)
+        # Per-segment ``np.arange(lo, hi + 1)``, concatenated: an integer
+        # ramp offset by each segment's start, shifted to its lo.
+        offsets = np.arange(total, dtype=np.int64) - starts[seg]
+        values = (los[seg] + offsets).astype(float)
+        probs = pmf_fn(group, seg, values)
+        for k, i in enumerate(idxs):
+            lo_k = starts[k]
+            hi_k = lo_k + counts[k]
+            vals_k = values[lo_k:hi_k]
+            probs_k = probs[lo_k:hi_k]
+            keep = probs_k > 0
+            out[i] = DiscretePdf._from_arrays(
+                vals_k[keep], probs_k[keep], pdfs[i].attr
+            )
+    return out
+
+
 def kernel_family(pdf: Pdf):
     """The vectorizable family of a (possibly floored) pdf, or ``None``."""
     base = pdf.base if isinstance(pdf, FlooredPdf) else pdf
     t = type(base)
-    return t if t in VECTOR_FAMILIES else None
+    if t in VECTOR_FAMILIES or t in DISCRETE_VECTOR_FAMILIES:
+        return t
+    return None
 
 
 def supports_batch_mass(pdf: Pdf) -> bool:
@@ -95,12 +208,22 @@ def batch_interval_probs(
     n = len(bases)
     out = np.empty(n, dtype=float)
     groups: Dict[type, List[int]] = {}
+    discrete_idx: List[int] = []
     for i, base in enumerate(bases):
         fam = type(base)
         if fam in VECTOR_FAMILIES:
             groups.setdefault(fam, []).append(i)
+        elif fam in DISCRETE_VECTOR_FAMILIES:
+            discrete_idx.append(i)
         else:
             out[i] = _scalar_interval_prob(base, alloweds[i])
+    if discrete_idx:
+        # Scalar path: materialize() then DiscretePdf.prob_interval.  The
+        # materialization (the expensive pmf sweep) is shared per family;
+        # the per-pdf masked sum afterwards is already a numpy reduction.
+        mats = batch_materialize([bases[i] for i in discrete_idx])
+        for mat, i in zip(mats, discrete_idx):
+            out[i] = mat.prob_interval(alloweds[i])
     for fam, idxs in groups.items():
         seg: List[int] = []
         los: List[float] = []
@@ -154,7 +277,9 @@ def batch_mass(pdfs: Sequence[Pdf]) -> np.ndarray:
             idxs.append(i)
             bases.append(pdf.base)
             alloweds.append(pdf.allowed)
-        elif type(pdf) in VECTOR_FAMILIES:
+        elif type(pdf) in VECTOR_FAMILIES or type(pdf) in DISCRETE_VECTOR_FAMILIES:
+            # Raw symbolic families (continuous and discrete) have mass
+            # exactly 1 by construction.
             out[i] = 1.0
         else:
             out[i] = pdf.mass()

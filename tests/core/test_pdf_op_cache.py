@@ -130,3 +130,68 @@ class TestPdfOpCache:
         stats = cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
         assert stats["hit_rate"] == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_respects_bound(self):
+        """Hammering one small cache from many threads must neither corrupt
+        the LRU order dict nor let it grow past maxsize (the parallel
+        executor shares PDF_OP_CACHE across all workers)."""
+        import threading
+
+        cache = PdfOpCache(maxsize=32)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(2000):
+                    key = ("k", (seed * 7 + i) % 100)
+                    cache.get(key)
+                    cache.put(key, i)
+                    assert len(cache) <= 32
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 2000
+
+    def test_concurrent_eviction_keeps_counters_consistent(self):
+        import threading
+
+        cache = PdfOpCache(maxsize=4)
+        barrier = threading.Barrier(4)
+
+        def worker(seed):
+            barrier.wait()
+            for i in range(500):
+                cache.put((seed, i), i)
+                cache.get((seed, i))
+                cache.get((seed, i - 1))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 4
+        # Every get incremented exactly one counter.
+        assert cache.hits + cache.misses == 4 * 500 * 2
+
+    def test_pickles_without_lock(self):
+        """Fork-backend workers may carry cache references inside closures;
+        the lock must not travel through pickling."""
+        import pickle
+
+        cache = PdfOpCache(maxsize=8)
+        cache.put("k", 1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get("k") == 1
+        clone.put("j", 2)  # lock was re-created, not shared
+        assert len(clone) == 2

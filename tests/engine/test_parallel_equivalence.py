@@ -1,0 +1,286 @@
+"""Property test: morsel-driven parallel execution ≡ serial execution.
+
+For random small databases and representative plan shapes (select, project,
+join, PROB threshold — including NULL and floored partial pdfs), running the
+plan through :func:`execute_plan` with ``workers in (2, 4)`` must produce
+the same tuples, in the same order, with the same pdfs and existence
+probabilities as both the serial batched pipeline and scalar
+tuple-at-a-time iteration.  A tiny ``morsel_size`` forces real multi-morsel
+fan-out even on the small hypothesis relations.
+
+Also covers satellite concerns: the ``batch_size <= 1`` scalar fallback
+(the batch protocol must not be entered at all) and a process-backend
+smoke run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProbabilisticRelation
+from repro.core.model import ModelConfig
+from repro.core.operations import PDF_OP_CACHE
+from repro.core.predicates import And, Comparison
+from repro.engine.executor import (
+    Filter,
+    Gather,
+    HashJoin,
+    NestedLoopJoin,
+    ParallelHashJoin,
+    ParallelNestedLoopJoin,
+    ProbFilter,
+    Project,
+    RelationScan,
+    last_run_stats,
+    parallelize_plan,
+    reset_run_stats,
+)
+from repro.engine.sql.planner import execute_plan
+
+from .test_batch_equivalence import assert_rows_equal, pdf_values, relations
+
+WORKER_COUNTS = (2, 4)
+
+
+def _parallel_config(workers, backend="thread"):
+    # morsel_size=3 slices even the tiny hypothesis relations into several
+    # morsels, so the Exchange/Gather machinery actually fans out.
+    return ModelConfig(
+        batch_size=64, workers=workers, parallel_backend=backend, morsel_size=3
+    )
+
+
+def run_modes(make_plan, backends=("thread",)):
+    """Rows from scalar, serial-batched, and each parallel configuration."""
+    PDF_OP_CACHE.reset()
+    scalar = list(make_plan())
+    PDF_OP_CACHE.reset()
+    serial = execute_plan(make_plan(), ModelConfig(batch_size=64))
+    parallel = {}
+    for workers in WORKER_COUNTS:
+        for backend in backends:
+            PDF_OP_CACHE.reset()
+            parallel[(workers, backend)] = execute_plan(
+                make_plan(), _parallel_config(workers, backend)
+            )
+    return scalar, serial, parallel
+
+
+@settings(max_examples=25, deadline=None)
+@given(rel=relations(), lo=st.floats(-8, 8), width=st.floats(0.5, 10))
+def test_filter_parallel_equivalence(rel, lo, width):
+    pred = And([Comparison("v", ">", lo), Comparison("v", "<", lo + width)])
+    scalar, serial, parallel = run_modes(
+        lambda: Filter(RelationScan(rel), pred, rel.store)
+    )
+    assert_rows_equal(scalar, serial, rel.store)
+    for rows in parallel.values():
+        # Scan chains are order- and id-preserving: exact match.
+        assert_rows_equal(scalar, rows, rel.store)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rel=relations(), lo=st.floats(-8, 8))
+def test_project_parallel_equivalence(rel, lo):
+    def make_plan():
+        return Project(
+            Filter(RelationScan(rel), Comparison("v", ">", lo), rel.store), ["sid"]
+        )
+
+    scalar, serial, parallel = run_modes(make_plan)
+    assert_rows_equal(scalar, serial, rel.store)
+    for rows in parallel.values():
+        assert_rows_equal(scalar, rows, rel.store)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rel=relations(),
+    lo=st.floats(-8, 8),
+    p=st.floats(0.05, 0.95),
+    op=st.sampled_from([">", ">=", "<", "<="]),
+)
+def test_prob_filter_parallel_equivalence(rel, lo, p, op):
+    def make_plan():
+        return ProbFilter(
+            RelationScan(rel), Comparison("v", ">", lo), op, p, rel.store
+        )
+
+    scalar, serial, parallel = run_modes(make_plan)
+    assert_rows_equal(scalar, serial, rel.store)
+    for rows in parallel.values():
+        assert_rows_equal(scalar, rows, rel.store)
+
+
+def _shared_store_copy(right, left):
+    copy = ProbabilisticRelation(right.schema, store=left.store, name="r2")
+    for t in right.tuples:
+        copy.insert(
+            certain=dict(t.certain),
+            uncertain={"b": t.pdfs[frozenset({"b"})]},
+        )
+    return copy
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    left=relations(attr="a", name="l", id_col="lid", max_size=6),
+    right=relations(attr="b", name="r", id_col="rid", max_size=6),
+    lo=st.floats(-8, 8),
+)
+def test_nested_loop_join_parallel_equivalence(left, right, lo):
+    right2 = _shared_store_copy(right, left)
+    pred = Comparison("a", ">", lo)
+
+    def make_plan():
+        return NestedLoopJoin(
+            RelationScan(left), RelationScan(right2), pred, left.store
+        )
+
+    scalar, serial, parallel = run_modes(make_plan)
+    # Join output ids come from fresh counter draws, so they differ per run.
+    assert_rows_equal(scalar, serial, left.store, compare_ids=False)
+    for rows in parallel.values():
+        assert_rows_equal(scalar, rows, left.store, compare_ids=False)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    left=relations(attr="a", name="l", id_col="lid", max_size=8),
+    right=relations(attr="b", name="r", id_col="rid", max_size=8),
+    lo=st.floats(-8, 8),
+)
+def test_hash_join_parallel_equivalence(left, right, lo):
+    right2 = _shared_store_copy(right, left)
+    pred = Comparison("a", ">", lo)
+
+    def make_plan():
+        return HashJoin(
+            RelationScan(left),
+            RelationScan(right2),
+            "lid",
+            "rid",
+            pred,
+            left.store,
+        )
+
+    scalar, serial, parallel = run_modes(make_plan)
+    assert_rows_equal(scalar, serial, left.store, compare_ids=False)
+    for rows in parallel.values():
+        assert_rows_equal(scalar, rows, left.store, compare_ids=False)
+
+
+def _fixed_relation(n=40):
+    from repro.pdf import BernoulliPdf, BinomialPdf, GaussianPdf, PoissonPdf
+
+    rel = None
+    import repro.core as core
+
+    schema = core.ProbabilisticSchema(
+        [core.Column("sid", core.DataType.INT), core.Column("v", core.DataType.REAL)],
+        [{"v"}],
+    )
+    rel = ProbabilisticRelation(schema, name="fixed")
+    for i in range(n):
+        kind = i % 5
+        if kind == 0:
+            pdf = GaussianPdf(i % 11, 2.0, attr="v")
+        elif kind == 1:
+            pdf = BinomialPdf(10, 0.3 + (i % 5) / 10.0, attr="v")
+        elif kind == 2:
+            pdf = PoissonPdf(1.0 + (i % 7), attr="v")
+        elif kind == 3:
+            pdf = BernoulliPdf(0.2 + (i % 6) / 10.0, attr="v")
+        else:
+            pdf = None
+        rel.insert(certain={"sid": i}, uncertain={"v": pdf})
+    return rel
+
+
+def test_process_backend_smoke():
+    """Fork-based workers return picklable tuples with identical content."""
+    rel = _fixed_relation()
+    pred = And([Comparison("v", ">", 2), Comparison("v", "<", 9)])
+
+    def make_plan():
+        return Filter(RelationScan(rel), pred, rel.store)
+
+    scalar, serial, parallel = run_modes(make_plan, backends=("thread", "process"))
+    assert_rows_equal(scalar, serial, rel.store)
+    for rows in parallel.values():
+        assert_rows_equal(scalar, rows, rel.store)
+
+
+def test_parallel_stats_recorded():
+    rel = _fixed_relation()
+    plan = Filter(RelationScan(rel), Comparison("v", ">", 3), rel.store)
+    reset_run_stats()
+    execute_plan(plan, _parallel_config(2))
+    stats = last_run_stats()
+    assert stats is not None
+    assert stats["morsels"] >= 2
+    assert stats["busy_time"] >= 0.0
+    assert sum(w["morsels"] for w in stats["per_worker"].values()) == stats["morsels"]
+
+
+def test_parallelize_plan_shapes():
+    """The rewriter produces Gather over scans and parallel join operators."""
+    rel = _fixed_relation()
+    config = _parallel_config(2)
+    rewritten = parallelize_plan(
+        Filter(RelationScan(rel), Comparison("v", ">", 0), rel.store), config
+    )
+    assert isinstance(rewritten, Gather)
+
+    import repro.core as core
+
+    left = _fixed_relation(10)
+    right_schema = core.ProbabilisticSchema(
+        [core.Column("rid", core.DataType.INT), core.Column("w", core.DataType.REAL)],
+        [{"w"}],
+    )
+    right = ProbabilisticRelation(right_schema, store=left.store, name="r2")
+    for t in left.tuples:
+        right.insert(certain={"rid": t.certain["sid"]}, uncertain={"w": None})
+    hj = HashJoin(
+        RelationScan(left),
+        RelationScan(right),
+        "sid",
+        "rid",
+        Comparison("sid", ">=", 0),
+        left.store,
+    )
+    assert isinstance(parallelize_plan(hj, config), ParallelHashJoin)
+    nlj = NestedLoopJoin(
+        RelationScan(left),
+        RelationScan(right),
+        Comparison("sid", ">=", 0),
+        left.store,
+    )
+    assert isinstance(parallelize_plan(nlj, config), ParallelNestedLoopJoin)
+
+
+def test_workers_one_plan_untouched():
+    rel = _fixed_relation(8)
+    plan = Filter(RelationScan(rel), Comparison("v", ">", 0), rel.store)
+    assert parallelize_plan(plan, ModelConfig(workers=1)) is plan
+
+
+class _NoBatchesScan(RelationScan):
+    """Scan that fails the test if the batch protocol is entered."""
+
+    def batches(self, size=256):
+        raise AssertionError(
+            "batch_size <= 1 must use the scalar iterator protocol"
+        )
+
+
+def test_batch_size_one_uses_scalar_protocol():
+    """Satellite fix: at batch_size<=1, execute_plan must not wrap single
+    tuples in TupleBatch objects (the 0.63x regression of BENCH_engine)."""
+    rel = _fixed_relation(10)
+    plan = _NoBatchesScan(rel)
+    rows = execute_plan(plan, ModelConfig(batch_size=1))
+    assert [t.tuple_id for t in rows] == [t.tuple_id for t in rel.tuples]
+    # batch_size=0/None degrade to scalar too instead of crashing batched().
+    assert len(execute_plan(_NoBatchesScan(rel), ModelConfig(batch_size=0))) == 10

@@ -121,3 +121,78 @@ def test_gaussian_kernel_property(mu, sd, lo, width):
     expected = g.prob_interval(allowed)
     assert vec[0] == expected
     assert vec[1] == expected
+
+
+def _discrete_zoo():
+    from repro.pdf import BernoulliPdf, BinomialPdf, PoissonPdf
+
+    rng = np.random.default_rng(11)
+    pdfs = []
+    for _ in range(6):
+        pdfs.append(BernoulliPdf(float(0.05 + 0.9 * rng.random())))
+        pdfs.append(BinomialPdf(int(1 + rng.integers(20)), float(0.05 + 0.9 * rng.random())))
+        pdfs.append(PoissonPdf(float(0.2 + 10 * rng.random())))
+    return pdfs
+
+
+class TestBatchMaterialize:
+    def test_matches_scalar_materialize_bitwise(self):
+        pdfs = _discrete_zoo()
+        mats = kernels.batch_materialize(pdfs)
+        for pdf, mat in zip(pdfs, mats):
+            ref = pdf.materialize()
+            assert type(mat) is type(ref)
+            assert mat.attrs == ref.attrs
+            np.testing.assert_array_equal(mat.values, ref.values)
+            np.testing.assert_array_equal(mat.probs, ref.probs)
+
+    def test_mixed_batch_falls_back_per_element(self):
+        from repro.pdf import BinomialPdf, GeometricPdf
+
+        pdfs = [BinomialPdf(5, 0.4), GeometricPdf(0.3), BinomialPdf(3, 0.9)]
+        mats = kernels.batch_materialize(pdfs)
+        for pdf, mat in zip(pdfs, mats):
+            ref = pdf.materialize()
+            np.testing.assert_array_equal(mat.values, ref.values)
+            np.testing.assert_array_equal(mat.probs, ref.probs)
+
+    def test_empty_batch(self):
+        assert kernels.batch_materialize([]) == []
+
+    def test_interval_probs_route_discrete_families(self):
+        sets = _interval_sets()
+        pdfs = _discrete_zoo()
+        alloweds = [sets[i % len(sets)] for i in range(len(pdfs))]
+        vec = kernels.batch_interval_probs(pdfs, alloweds)
+        for i, (p, a) in enumerate(zip(pdfs, alloweds)):
+            assert vec[i] == p.prob_interval(a), (repr(p), a)
+
+    def test_batch_mass_discrete_families_is_one(self):
+        pdfs = _discrete_zoo()
+        vec = kernels.batch_mass(pdfs)
+        for i, p in enumerate(pdfs):
+            assert vec[i] == p.mass() == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 60), p=st.floats(0.01, 0.99))
+def test_binomial_batch_materialize_property(n, p):
+    from repro.pdf import BinomialPdf
+
+    pdf = BinomialPdf(n, p)
+    (mat,) = kernels.batch_materialize([pdf])
+    ref = pdf.materialize()
+    np.testing.assert_array_equal(mat.values, ref.values)
+    np.testing.assert_array_equal(mat.probs, ref.probs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rate=st.floats(0.01, 80))
+def test_poisson_batch_materialize_property(rate):
+    from repro.pdf import PoissonPdf
+
+    pdf = PoissonPdf(rate)
+    (mat,) = kernels.batch_materialize([pdf])
+    ref = pdf.materialize()
+    np.testing.assert_array_equal(mat.values, ref.values)
+    np.testing.assert_array_equal(mat.probs, ref.probs)
