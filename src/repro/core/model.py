@@ -23,12 +23,12 @@ later operations can detect and repair historical dependence.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import SchemaError
 from ..pdf.base import GridSpec, DEFAULT_GRID, Pdf
-from .history import AncestorRef, HistoryStore, Lineage, fresh_lineage
+from .history import HistoryStore, Lineage, fresh_lineage
 
 __all__ = [
     "DataType",
@@ -102,6 +102,19 @@ class ModelConfig:
     ``morsel_size``
         Target number of tuples per morsel.  Scans round this to whole
         pages so each morsel decodes an integral page run.
+    ``scan_pruning``
+        When True (the default), sequential scans consult per-page
+        synopses (min/max of certain values, union of pdf support bounds,
+        page-max mass) and skip pages that provably hold zero qualifying
+        mass for the query's range and ``PROB`` threshold conjuncts.
+        Pruning is sound — pruned tuples would be dropped by the plan's
+        own filters — and pruned pages never become parallel morsels.
+    ``lazy_decode``
+        When True (the default), pruned sequential scans decode each
+        record's cheap fixed prefix (certain values + per-dependency-set
+        mass/support summary) first and deserialize the pdf payload only
+        for tuples that survive the certain-attribute predicate and the
+        per-tuple support/mass tests.
     """
 
     use_history: bool = True
@@ -112,6 +125,8 @@ class ModelConfig:
     workers: int = 1
     parallel_backend: str = "thread"
     morsel_size: int = 1024
+    scan_pruning: bool = True
+    lazy_decode: bool = True
 
 
 def _config_from_env() -> "ModelConfig":

@@ -15,7 +15,7 @@ queryable system with uncertainty as a first-class citizen.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.model import (
@@ -38,10 +38,18 @@ from .sql.planner import (
     execute_plan,
     plan_select,
 )
+from .stats import analyze_table
 from .storage.disk import Disk
 from .table import Table
 
 __all__ = ["Database", "QueryResult"]
+
+
+def _enable_counting(op) -> None:
+    """Switch on actual-row counting for every operator in a plan."""
+    op.counting = True
+    for child in op.children():
+        _enable_counting(child)
 
 
 @dataclass
@@ -208,9 +216,22 @@ class Database:
         if isinstance(stmt, ast.Update):
             count = self._execute_update(stmt)
             return QueryResult(rowcount=count, message=f"UPDATE {count}")
+        if isinstance(stmt, ast.Analyze):
+            names = (
+                [stmt.table] if stmt.table is not None else sorted(self.catalog.tables)
+            )
+            for name in names:
+                analyze_table(self.catalog.get_table(name))
+            return QueryResult(message=f"ANALYZE {len(names)} table(s)")
         if isinstance(stmt, ast.Explain):
             plan = plan_select(self.catalog, stmt.query)
-            return QueryResult(message="EXPLAIN", plan_text=plan.explain())
+            if not stmt.analyze:
+                return QueryResult(message="EXPLAIN", plan_text=plan.explain())
+            _enable_counting(plan)
+            # Run serially: parallel execution rewrites the plan into
+            # fragments whose counters never reach these operators.
+            execute_plan(plan, replace(self.config, workers=1))
+            return QueryResult(message="EXPLAIN ANALYZE", plan_text=plan.explain())
         if isinstance(stmt, ast.Select):
             plan = plan_select(self.catalog, stmt)
             rows = execute_plan(plan, self.config)

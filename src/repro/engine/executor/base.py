@@ -8,7 +8,7 @@ orchestrate streaming, storage access and index usage.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from ...core.model import ProbabilisticSchema, ProbabilisticTuple
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched
@@ -27,9 +27,21 @@ class Operator:
     The default :meth:`batches` chunks the scalar iterator, so every
     operator is batch-capable; batch-native operators override it.  Both
     protocols produce identical tuples in identical order.
+
+    ``est_rows`` is set by the planner's cost model; ``actual_rows`` is
+    filled in by instrumented operators when ``counting`` is enabled
+    (EXPLAIN ANALYZE).  Both render as a ``[est=... actual=...]`` suffix in
+    :meth:`explain`.
     """
 
     output_schema: ProbabilisticSchema
+
+    #: planner's output-cardinality estimate (None = not estimated)
+    est_rows: Optional[float] = None
+    #: rows actually produced (None until a counted execution runs)
+    actual_rows: Optional[int] = None
+    #: when True, instrumented operators tally ``actual_rows`` as they run
+    counting: bool = False
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         raise NotImplementedError
@@ -45,9 +57,46 @@ class Operator:
         """One-line description used by EXPLAIN."""
         return type(self).__name__
 
+    def explain_extras(self) -> List[str]:
+        """Extra ``[...]`` annotations an operator wants in EXPLAIN output."""
+        return []
+
     def explain(self, indent: int = 0) -> str:
         """Render the plan subtree."""
-        lines = ["  " * indent + "-> " + self.label()]
+        line = "  " * indent + "-> " + self.label()
+        notes = []
+        if self.est_rows is not None:
+            notes.append(f"est={self.est_rows:.0f}")
+        if self.actual_rows is not None:
+            notes.append(f"actual={self.actual_rows}")
+        notes.extend(self.explain_extras())
+        if notes:
+            line += "  [" + " ".join(notes) + "]"
+        lines = [line]
         for child in self.children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
+
+    # -- instrumentation helpers (EXPLAIN ANALYZE) ---------------------------
+
+    def _count_tuples(
+        self, source: Iterator[ProbabilisticTuple]
+    ) -> Iterator[ProbabilisticTuple]:
+        """Tally a scalar stream into ``actual_rows`` when counting."""
+        if not self.counting:
+            yield from source
+            return
+        self.actual_rows = 0
+        for t in source:
+            self.actual_rows += 1
+            yield t
+
+    def _count_batches(self, source: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        """Tally a batch stream into ``actual_rows`` when counting."""
+        if not self.counting:
+            yield from source
+            return
+        self.actual_rows = 0
+        for batch in source:
+            self.actual_rows += len(batch)
+            yield batch

@@ -198,18 +198,26 @@ class _WorkerPool:
 
 
 class _PageMorselScan(Operator):
-    """SeqScan restricted to a page-id subset (one morsel)."""
+    """SeqScan restricted to a page-id subset (one morsel).
 
-    def __init__(self, table, page_ids: List[int]):
+    Carries the originating scan's pruner so lazy per-tuple pruning keeps
+    working inside each morsel (page-level pruning already happened when
+    the candidate pages were split into morsels).
+    """
+
+    def __init__(self, table, page_ids: List[int], pruner=None):
         self.table = table
         self.page_ids = page_ids
+        self.pruner = pruner
         self.output_schema = table.schema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return flatten(self.batches())
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        for chunk in self.table.scan_batches(size, page_ids=self.page_ids):
+        for chunk in self.table.scan_batches(
+            size, page_ids=self.page_ids, pruner=self.pruner
+        ):
             yield TupleBatch(chunk)
 
     def label(self) -> str:
@@ -272,18 +280,20 @@ def _split_source(
     workers = config.workers
     if isinstance(leaf, SeqScan):
         table = leaf.table
-        page_ids = list(table.heap.page_ids)
+        # Pages pruned by the scan's synopsis tests never become morsels.
+        page_ids = leaf.candidate_page_ids()
         if len(page_ids) < 2:
             return None
-        rows_per_page = max(1.0, len(table.heap) / len(page_ids))
+        rows_per_page = max(1.0, len(table.heap) / max(1, table.heap.num_pages))
         per = _chunk_size(
             len(page_ids), workers, max(1, int(config.morsel_size / rows_per_page))
         )
         chunks = [page_ids[i : i + per] for i in range(0, len(page_ids), per)]
         if len(chunks) < 2:
             return None
+        pruner = leaf.pruner
         return [
-            (lambda c=chunk: _PageMorselScan(table, c)) for chunk in chunks
+            (lambda c=chunk: _PageMorselScan(table, c, pruner)) for chunk in chunks
         ]
     if isinstance(leaf, RelationScan):
         tuples = leaf.relation.tuples

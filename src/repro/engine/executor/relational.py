@@ -67,17 +67,23 @@ class Filter(Operator):
         self.output_schema = self.plan.output_schema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
-        for t in self.child:
-            result = self.plan.apply(t, self.store)
-            if result is not None:
-                yield result
+        def run():
+            for t in self.child:
+                result = self.plan.apply(t, self.store)
+                if result is not None:
+                    yield result
+
+        return self._count_tuples(run())
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        for batch in self.child.batches(size):
-            results = self.plan.apply_batch(batch.tuples, self.store)
-            kept = [r for r in results if r is not None]
-            if kept:
-                yield TupleBatch(kept)
+        def run():
+            for batch in self.child.batches(size):
+                results = self.plan.apply_batch(batch.tuples, self.store)
+                kept = [r for r in results if r is not None]
+                if kept:
+                    yield TupleBatch(kept)
+
+        return self._count_batches(run())
 
     def children(self) -> List[Operator]:
         return [self.child]

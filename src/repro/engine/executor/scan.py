@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from ...core.model import ProbabilisticRelation, ProbabilisticTuple
 from ...errors import QueryError
+from ..storage.synopsis import ScanPruner
 from ..table import Table
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch
@@ -38,12 +39,15 @@ class RelationScan(Operator):
         self.output_schema = relation.schema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
-        return iter(self.relation.tuples)
+        return self._count_tuples(iter(self.relation.tuples))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        tuples = self.relation.tuples
-        for start in range(0, len(tuples), size):
-            yield TupleBatch(tuples[start : start + size])
+        def run():
+            tuples = self.relation.tuples
+            for start in range(0, len(tuples), size):
+                yield TupleBatch(tuples[start : start + size])
+
+        return self._count_batches(run())
 
     def label(self) -> str:
         name = self.relation.name or "<anonymous>"
@@ -51,22 +55,74 @@ class RelationScan(Operator):
 
 
 class SeqScan(Operator):
-    """Full sequential scan of a table, in page order."""
+    """Sequential scan of a table, in page order.
 
-    def __init__(self, table: Table):
+    An optional :class:`ScanPruner` turns the full scan into a *pruned*
+    scan: pages whose synopsis proves zero qualifying mass are skipped
+    entirely (and never become parallel morsels), and with lazy decoding
+    the pdf payloads of rejected tuples are never deserialized.  The
+    pruner only drops tuples the plan's own filters would drop, so the
+    query answer is unchanged.
+    """
+
+    def __init__(self, table: Table, pruner: Optional[ScanPruner] = None):
         self.table = table
+        self.pruner = pruner
         self.output_schema = table.schema
+        #: (pages visited, total pages) of the last candidate computation
+        self.page_stats: Optional[tuple] = None
+
+    def candidate_page_ids(self) -> List[int]:
+        """The pages this scan will visit (after synopsis pruning)."""
+        pages = self.table.candidate_pages(self.pruner)
+        self.page_stats = (len(pages), self.table.heap.num_pages)
+        return pages
+
+    def _pruned(self) -> bool:
+        return self.pruner is not None and (
+            self.pruner.prune_pages or self.pruner.lazy
+        )
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
-        for _rid, t in self.table.scan():
-            yield t
+        def run():
+            if not self._pruned():
+                for _rid, t in self.table.scan():
+                    yield t
+                return
+            for chunk in self.table.scan_batches(
+                DEFAULT_BATCH_SIZE, page_ids=self.candidate_page_ids(), pruner=self.pruner
+            ):
+                yield from chunk
+
+        return self._count_tuples(run())
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        for chunk in self.table.scan_batches(size):
-            yield TupleBatch(chunk)
+        def run():
+            if not self._pruned():
+                for chunk in self.table.scan_batches(size):
+                    yield TupleBatch(chunk)
+                return
+            for chunk in self.table.scan_batches(
+                size, page_ids=self.candidate_page_ids(), pruner=self.pruner
+            ):
+                yield TupleBatch(chunk)
+
+        return self._count_batches(run())
 
     def label(self) -> str:
         return f"SeqScan({self.table.name})"
+
+    def explain_extras(self) -> List[str]:
+        extras = []
+        if self.pruner is not None and self.pruner.prune_pages:
+            if self.page_stats is not None:
+                visited, total = self.page_stats
+                extras.append(f"pages={visited}/{total}")
+            else:
+                extras.append("pruned")
+        if self.pruner is not None and self.pruner.lazy:
+            extras.append("lazy")
+        return extras
 
 
 class BTreeScan(Operator):
@@ -100,10 +156,10 @@ class BTreeScan(Operator):
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         # Grouped reads pin a page once per run of same-page RIDs.
-        return self.table.read_grouped(self._rids())
+        return self._count_tuples(self.table.read_grouped(self._rids()))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return _rid_batches(self.table, self._rids(), size)
+        return self._count_batches(_rid_batches(self.table, self._rids(), size))
 
     def label(self) -> str:
         return f"BTreeScan({self.table.name}.{self.attr} in [{self.lo}, {self.hi}])"
@@ -130,10 +186,10 @@ class SpatialScan(Operator):
         return iter(index.candidates(self.window))
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
-        return self.table.read_grouped(self._rids())
+        return self._count_tuples(self.table.read_grouped(self._rids()))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return _rid_batches(self.table, self._rids(), size)
+        return self._count_batches(_rid_batches(self.table, self._rids(), size))
 
     def label(self) -> str:
         parts = ", ".join(
@@ -171,10 +227,10 @@ class PtiScan(Operator):
         return iter(sorted(index.candidates(self.lo, self.hi, self.threshold)))
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
-        return self.table.read_grouped(self._rids())
+        return self._count_tuples(self.table.read_grouped(self._rids()))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return _rid_batches(self.table, self._rids(), size)
+        return self._count_batches(_rid_batches(self.table, self._rids(), size))
 
     def label(self) -> str:
         return (

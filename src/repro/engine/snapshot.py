@@ -18,18 +18,18 @@ snapshots before creating new categorical data when mixing sources.
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Dict, List
+from typing import BinaryIO, Dict
 
 from ..core.history import AncestorRef
 from ..core.model import Column, DataType, ProbabilisticSchema
 from ..errors import SerializationError
-from ..pdf.discrete import _LABELS, code_label, label_code
+from ..pdf.discrete import _LABELS, label_code
 from .storage.serialize import decode_pdf, encode_pdf
 
 __all__ = ["save_database", "load_database"]
 
 _MAGIC = b"RPDB"
-_VERSION = 4
+_VERSION = 5
 
 
 def _w_str(f: BinaryIO, s: str) -> None:
@@ -242,4 +242,6 @@ def load_database(path: str, buffer_capacity: int = 256, config=None):
                 table.create_pti_index(attr)
             for attrs, cell_size in spatial_defs:
                 table.create_spatial_index(attrs, cell_size=cell_size)
+            # Page synopses are derived state, rebuilt like the indexes.
+            table.rebuild_synopses()
     return db

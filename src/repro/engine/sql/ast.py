@@ -15,7 +15,7 @@ Orion prototype added to PostgreSQL:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ...pdf.base import Pdf
 
@@ -223,6 +223,15 @@ class Select(Statement):
 @dataclass
 class Explain(Statement):
     query: Select
+    #: EXPLAIN ANALYZE: run the query and annotate actual row counts
+    analyze: bool = False
+
+
+@dataclass
+class Analyze(Statement):
+    """ANALYZE [table]: collect planner statistics (all tables if omitted)."""
+
+    table: Optional[str] = None
 
 
 # -- DML -----------------------------------------------------------------------------

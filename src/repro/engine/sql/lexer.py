@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from ...errors import SqlLexError
 
@@ -20,7 +20,7 @@ KEYWORDS = {
     "INSERT", "INTO", "VALUES", "DELETE", "FROM",
     "UPDATE", "SET", "GROUP", "DISTINCT", "BETWEEN", "IN",
     "SELECT", "WHERE", "AND", "OR", "NOT", "AS",
-    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "EXPLAIN", "IS",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "EXPLAIN", "ANALYZE", "IS",
     "INT", "INTEGER", "REAL", "FLOAT", "DOUBLE", "BOOL", "BOOLEAN", "TEXT", "VARCHAR",
     "UNCERTAIN", "DEPENDENCY",
     "NULL", "TRUE", "FALSE",

@@ -85,6 +85,8 @@ class HeapFile:
 
     def delete(self, rid: RID) -> None:
         """Delete a record; its page space is not reclaimed."""
+        if rid.page_id not in self._page_set:
+            raise StorageError(f"{rid!r} does not belong to heap file {self.name!r}")
         page = self.pool.get_page(rid.page_id)
         page.delete(rid.slot)
         self._record_count -= 1

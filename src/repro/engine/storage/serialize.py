@@ -41,7 +41,6 @@ from ...pdf.discrete import (
     DiscretePdf,
     GeometricPdf,
     PoissonPdf,
-    code_label,
 )
 from ...pdf.floors import FlooredPdf
 from ...pdf.histogram import HistogramPdf
@@ -64,6 +63,10 @@ __all__ = [
     "decode_pdf",
     "encode_tuple",
     "decode_tuple",
+    "decode_prefix",
+    "dep_summary",
+    "DepSummary",
+    "TuplePrefix",
     "pdf_size",
 ]
 
@@ -446,8 +449,76 @@ def _decode_lineage(buf: bytes, off: int) -> Tuple[Lineage, int]:
     return frozenset(links), off
 
 
+class DepSummary:
+    """The cheap per-dependency-set summary stored ahead of the pdf payload.
+
+    ``mass`` is the pdf's total probability mass (the tuple's existence
+    probability through this set; 1.0 for complete pdfs) and ``support``
+    maps each attribute of the set to the pdf's support bounds — the same
+    ``[lo, hi]`` hull the probability-threshold index keys on.  ``has_pdf``
+    is False for the NULL pdf (values unknown, tuple certainly exists), in
+    which case mass/support are meaningless.
+    """
+
+    __slots__ = ("attrs", "has_pdf", "mass", "support")
+
+    def __init__(
+        self,
+        attrs: FrozenSet[str],
+        has_pdf: bool,
+        mass: float,
+        support: Dict[str, Tuple[float, float]],
+    ):
+        self.attrs = attrs
+        self.has_pdf = has_pdf
+        self.mass = mass
+        self.support = support
+
+
+def dep_summary(dep: FrozenSet[str], pdf: Optional[Pdf]) -> DepSummary:
+    """Compute the prefix summary of one dependency set's pdf."""
+    if pdf is None:
+        return DepSummary(dep, False, 0.0, {})
+    return DepSummary(dep, True, float(pdf.mass()), dict(pdf.support()))
+
+
+class TuplePrefix:
+    """The decoded fixed prefix of a stored tuple: everything but the pdfs.
+
+    Holds the certain values and per-dependency-set summaries, plus the
+    offsets of the undecoded pdf/lineage payloads so that :meth:`complete`
+    can finish the decode for tuples that survive pruning.
+    """
+
+    __slots__ = ("buf", "tuple_id", "certain", "deps", "_payloads", "end")
+
+    def __init__(self, buf, tuple_id, certain, deps, payloads, end):
+        self.buf = buf
+        self.tuple_id = tuple_id
+        self.certain = certain
+        self.deps = deps  # List[DepSummary]
+        self._payloads = payloads  # List[(offset, length)] parallel to deps
+        self.end = end
+
+    def complete(self) -> ProbabilisticTuple:
+        """Decode the pdf/lineage payloads and build the full tuple."""
+        pdfs: Dict[FrozenSet[str], Optional[Pdf]] = {}
+        lineage: Dict[FrozenSet[str], Lineage] = {}
+        for summary, (off, _length) in zip(self.deps, self._payloads):
+            pdf, off = decode_pdf(self.buf, off)
+            lin, _ = _decode_lineage(self.buf, off)
+            pdfs[summary.attrs] = pdf
+            lineage[summary.attrs] = lin
+        return ProbabilisticTuple(self.tuple_id, self.certain, pdfs, lineage)
+
+
 def encode_tuple(t: ProbabilisticTuple, store_lineage: bool = True) -> bytes:
     """Encode a probabilistic tuple (certain values + pdfs + histories).
+
+    The record is laid out as a cheap fixed prefix — tuple id, certain
+    values, and a per-dependency-set (mass, support-bounds) summary —
+    followed by the pdf/lineage payloads, each preceded by its byte length
+    so :func:`decode_prefix` can skip payloads it does not need.
 
     ``store_lineage=False`` omits the history section — the storage half of
     the Figure 6 "without histories" baseline.
@@ -463,16 +534,26 @@ def encode_tuple(t: ProbabilisticTuple, store_lineage: bool = True) -> bytes:
         attrs = sorted(dep)
         parts.append(struct.pack("<H", len(attrs)))
         parts.extend(_pack_str(a) for a in attrs)
-        parts.append(encode_pdf(pdf))
-        if store_lineage:
-            parts.append(_encode_lineage(t.lineage.get(dep, frozenset())))
+        if pdf is None:
+            parts.append(bytes([0]))
         else:
-            parts.append(struct.pack("<H", 0))
+            summary = dep_summary(dep, pdf)
+            sup = sorted(summary.support.items())
+            parts.append(bytes([1]) + struct.pack("<dH", summary.mass, len(sup)))
+            for name, (lo, hi) in sup:
+                parts.append(_pack_str(name) + struct.pack("<dd", lo, hi))
+        payload = encode_pdf(pdf)
+        if store_lineage:
+            payload += _encode_lineage(t.lineage.get(dep, frozenset()))
+        else:
+            payload += struct.pack("<H", 0)
+        parts.append(struct.pack("<I", len(payload)))
+        parts.append(payload)
     return b"".join(parts)
 
 
-def decode_tuple(buf: bytes, off: int = 0) -> Tuple[ProbabilisticTuple, int]:
-    """Decode a probabilistic tuple, returning (tuple, next offset)."""
+def _decode_common(buf: bytes, off: int):
+    """Shared prefix walk: id, certain section, dep count."""
     (tuple_id,) = struct.unpack_from("<q", buf, off)
     off += 8
     (n_certain,) = struct.unpack_from("<H", buf, off)
@@ -484,18 +565,62 @@ def decode_tuple(buf: bytes, off: int = 0) -> Tuple[ProbabilisticTuple, int]:
         certain[name] = value
     (n_deps,) = struct.unpack_from("<H", buf, off)
     off += 2
+    return tuple_id, certain, n_deps, off
+
+
+def _decode_dep_header(buf: bytes, off: int):
+    """One dep's attrs + summary + payload length; off lands on the payload."""
+    (k,) = struct.unpack_from("<H", buf, off)
+    off += 2
+    attrs = []
+    for _ in range(k):
+        a, off = _unpack_str(buf, off)
+        attrs.append(a)
+    dep = frozenset(attrs)
+    has_pdf = buf[off] != 0
+    off += 1
+    mass = 0.0
+    support: Dict[str, Tuple[float, float]] = {}
+    if has_pdf:
+        mass, n_sup = struct.unpack_from("<dH", buf, off)
+        off += 10
+        for _ in range(n_sup):
+            name, off = _unpack_str(buf, off)
+            lo, hi = struct.unpack_from("<dd", buf, off)
+            off += 16
+            support[name] = (lo, hi)
+    (payload_len,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    return DepSummary(dep, has_pdf, mass, support), payload_len, off
+
+
+def decode_tuple(buf: bytes, off: int = 0) -> Tuple[ProbabilisticTuple, int]:
+    """Decode a probabilistic tuple, returning (tuple, next offset)."""
+    tuple_id, certain, n_deps, off = _decode_common(buf, off)
     pdfs: Dict[FrozenSet[str], Optional[Pdf]] = {}
     lineage: Dict[FrozenSet[str], Lineage] = {}
     for _ in range(n_deps):
-        (k,) = struct.unpack_from("<H", buf, off)
-        off += 2
-        attrs = []
-        for _ in range(k):
-            a, off = _unpack_str(buf, off)
-            attrs.append(a)
-        dep = frozenset(attrs)
+        summary, _payload_len, off = _decode_dep_header(buf, off)
         pdf, off = decode_pdf(buf, off)
         lin, off = _decode_lineage(buf, off)
-        pdfs[dep] = pdf
-        lineage[dep] = lin
+        pdfs[summary.attrs] = pdf
+        lineage[summary.attrs] = lin
     return ProbabilisticTuple(tuple_id, certain, pdfs, lineage), off
+
+
+def decode_prefix(buf: bytes, off: int = 0) -> TuplePrefix:
+    """Decode only the fixed prefix, skipping every pdf/lineage payload.
+
+    This is the cheap half of lazy decoding: certain values and
+    per-dependency-set mass/support summaries come out, the (much larger)
+    pdf payloads stay undecoded until :meth:`TuplePrefix.complete`.
+    """
+    tuple_id, certain, n_deps, off = _decode_common(buf, off)
+    deps = []
+    payloads = []
+    for _ in range(n_deps):
+        summary, payload_len, off = _decode_dep_header(buf, off)
+        deps.append(summary)
+        payloads.append((off, payload_len))
+        off += payload_len
+    return TuplePrefix(buf, tuple_id, certain, deps, payloads, off)

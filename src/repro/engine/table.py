@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
-from ..errors import CatalogError, QueryError, SchemaError
+from ..errors import CatalogError, QueryError
 from ..core.history import HistoryStore
 from ..core.model import (
     CertainValue,
@@ -30,7 +30,8 @@ from .index.pti import ProbabilityThresholdIndex
 from .index.spatial import SpatialGridIndex
 from .storage.buffer import BufferPool
 from .storage.heapfile import HeapFile, RID
-from .storage.serialize import decode_tuple, encode_tuple
+from .storage.serialize import decode_prefix, decode_tuple, dep_summary, encode_tuple
+from .storage.synopsis import PageSynopsis, ScanPruner
 
 __all__ = ["Table"]
 
@@ -55,6 +56,10 @@ class Table:
         self.btrees: Dict[str, BPlusTree] = {}
         self.ptis: Dict[str, ProbabilityThresholdIndex] = {}
         self.spatials: Dict[Tuple[str, ...], SpatialGridIndex] = {}
+        #: per-page min/max + mass-bound synopses, maintained on insert/delete
+        self.synopses: Dict[int, PageSynopsis] = {}
+        #: per-attribute statistics installed by ANALYZE (repro.engine.stats)
+        self.statistics = None
 
     def __len__(self) -> int:
         return len(self.heap)
@@ -69,6 +74,7 @@ class Table:
         """Insert one base tuple; ancestors are registered in the store."""
         t = build_base_tuple(self.schema, self.store, certain, uncertain)
         rid = self.heap.insert(encode_tuple(t, store_lineage=self.store_lineage))
+        self._synopsis_insert(rid, t)
         self._index_insert(rid, t)
         return rid
 
@@ -83,6 +89,7 @@ class Table:
                 if lin:
                     self.store.acquire(lin)
         rid = self.heap.insert(encode_tuple(t, store_lineage=self.store_lineage))
+        self._synopsis_insert(rid, t)
         self._index_insert(rid, t)
         return rid
 
@@ -90,6 +97,9 @@ class Table:
         """Delete a base tuple; referenced pdfs become phantom nodes."""
         t = self.read(rid)
         self.heap.delete(rid)
+        syn = self.synopses.get(rid.page_id)
+        if syn is not None:
+            syn.remove()
         self._index_delete(rid, t)
         for lin in t.lineage.values():
             if lin:
@@ -131,7 +141,10 @@ class Table:
             yield rid, t
 
     def scan_batches(
-        self, size: int, page_ids: Optional[list] = None
+        self,
+        size: int,
+        page_ids: Optional[list] = None,
+        pruner: Optional[ScanPruner] = None,
     ) -> Iterator[list]:
         """Sequential scan yielding lists of at most ``size`` decoded tuples.
 
@@ -140,16 +153,66 @@ class Table:
         ``page_ids`` restricts the scan to a page subset (a morsel of the
         parallel executor); concatenating the outputs of a partition of
         ``heap.page_ids`` reproduces the full scan exactly.
+
+        With a lazy ``pruner``, each record's cheap prefix is decoded first
+        and the pdf payloads only for tuples the pruner admits — tuples it
+        rejects would be dropped by the plan's own filters, so downstream
+        results are unchanged.
         """
+        lazy = pruner is not None and pruner.lazy
         buf: list = []
         for records in self.heap.scan_pages(page_ids):
             for _rid, record in records:
-                buf.append(decode_tuple(record)[0])
+                if lazy:
+                    prefix = decode_prefix(record)
+                    if not pruner.admits_prefix(prefix):
+                        continue
+                    buf.append(prefix.complete())
+                else:
+                    buf.append(decode_tuple(record)[0])
                 if len(buf) >= size:
                     yield buf
                     buf = []
         if buf:
             yield buf
+
+    # -- page synopses -----------------------------------------------------------
+
+    def _synopsis_insert(self, rid: RID, t: ProbabilisticTuple) -> None:
+        syn = self.synopses.get(rid.page_id)
+        if syn is None:
+            syn = self.synopses[rid.page_id] = PageSynopsis()
+        syn.add(t.certain, [dep_summary(dep, pdf) for dep, pdf in t.pdfs.items()])
+
+    def candidate_pages(self, pruner: Optional[ScanPruner]) -> list:
+        """The page ids a pruned sequential scan must visit.
+
+        Pages whose synopsis proves zero qualifying mass are skipped; pages
+        without a synopsis (none built yet) are always visited — unknown
+        means unprunable, never wrong.
+        """
+        if pruner is None or not pruner.prune_pages:
+            return list(self.heap.page_ids)
+        out = []
+        for page_id in self.heap.page_ids:
+            syn = self.synopses.get(page_id)
+            if syn is None or pruner.admits_page(syn):
+                out.append(page_id)
+        return out
+
+    def rebuild_synopses(self) -> None:
+        """Rebuild every page synopsis from the stored record prefixes.
+
+        Synopses are derived state (like the secondary indexes): a snapshot
+        load restores raw pages and calls this instead of persisting them.
+        """
+        self.synopses = {}
+        for page_id in self.heap.page_ids:
+            syn = self.synopses[page_id] = PageSynopsis()
+            for records in self.heap.scan_pages([page_id]):
+                for _rid, record in records:
+                    prefix = decode_prefix(record)
+                    syn.add(prefix.certain, prefix.deps)
 
     # -- indexes --------------------------------------------------------------------
 

@@ -1,0 +1,311 @@
+"""Page synopses and pruned scans: maintenance units + equivalence properties.
+
+Two halves:
+
+* Unit tests that the per-page synopses are maintained correctly across
+  inserts (bounds widen), deletes (live count shrinks, bounds stay — so
+  pruning stays conservative), jumbo records, and full rebuilds.
+* Property tests that pruned + lazily decoded scans return exactly the
+  same rows as unpruned full-decode scans, across representative plan
+  shapes (select / project / join / PROB thresholds), serially and with 2
+  workers, including NULL pdfs, partial (floored) pdfs, and pages emptied
+  by deletes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ModelConfig
+from repro.core.operations import PDF_OP_CACHE
+from repro.engine.database import Database
+from repro.engine.storage.serialize import DepSummary
+from repro.engine.storage.synopsis import PageSynopsis, ScanPruner
+from repro.pdf import BoxRegion, GaussianPdf, Interval, IntervalSet, UniformPdf
+
+# ---------------------------------------------------------------------------
+# PageSynopsis unit tests
+# ---------------------------------------------------------------------------
+
+
+def _dep(attr, lo, hi, mass=1.0, has_pdf=True):
+    if not has_pdf:
+        return DepSummary(frozenset({attr}), False, 0.0, {})
+    return DepSummary(frozenset({attr}), True, mass, {attr: (lo, hi)})
+
+
+class TestPageSynopsis:
+    def test_insert_widens_bounds(self):
+        syn = PageSynopsis()
+        syn.add({"a": 5}, [_dep("u", 0.0, 1.0, mass=0.8)])
+        syn.add({"a": 2}, [_dep("u", -3.0, 0.5, mass=0.4)])
+        assert syn.live == 2
+        assert syn.certain["a"] == (2.0, 5.0)
+        assert syn.uncertain["u"][:2] == [-3.0, 1.0]
+        assert syn.uncertain["u"][2] == 0.8  # page-max mass
+        assert syn.max_exist_mass == 0.8
+
+    def test_null_values_leave_no_bounds(self):
+        syn = PageSynopsis()
+        syn.add({"a": None}, [_dep("u", 0, 0, has_pdf=False)])
+        assert "a" not in syn.certain
+        assert "u" not in syn.uncertain
+        # NULL pdf: the tuple exists with certainty.
+        assert syn.max_exist_mass == 1.0
+
+    def test_non_numeric_value_disables_pruning(self):
+        syn = PageSynopsis()
+        syn.add({"a": "text"}, [])
+        syn.add({"a": 7}, [])
+        lo, hi = syn.certain["a"]
+        assert lo == float("-inf") and hi == float("inf")
+        # An unbounded entry admits every range test.
+        pruner = ScanPruner(certain_ranges={"a": (100.0, 200.0)})
+        assert pruner.admits_page(syn)
+
+    def test_delete_decrements_live_only(self):
+        syn = PageSynopsis()
+        syn.add({"a": 1}, [])
+        syn.add({"a": 9}, [])
+        syn.remove()
+        assert syn.live == 1
+        assert syn.certain["a"] == (1.0, 9.0)  # bounds stay (conservative)
+        syn.remove()
+        assert syn.live == 0
+        assert not ScanPruner().admits_page(syn)  # empty page is skippable
+
+    def test_threshold_pruning(self):
+        syn = PageSynopsis()
+        syn.add({}, [_dep("u", 0.0, 1.0, mass=0.3)])
+        admits = ScanPruner(attr_thresholds={"u": [(">=", 0.2)]}).admits_page(syn)
+        assert admits
+        assert not ScanPruner(attr_thresholds={"u": [(">=", 0.5)]}).admits_page(syn)
+        assert not ScanPruner(attr_thresholds={"u": [(">", 0.3)]}).admits_page(syn)
+        assert not ScanPruner(exist_thresholds=[(">", 0.3)]).admits_page(syn)
+        # Upper bounds cannot refute <= style thresholds.
+        assert ScanPruner(attr_thresholds={"u": [("<=", 0.1)]}).admits_page(syn)
+
+
+# ---------------------------------------------------------------------------
+# Table-level synopsis maintenance
+# ---------------------------------------------------------------------------
+
+
+def _make_db(**config_kwargs):
+    db = Database(config=ModelConfig(batch_size=64, **config_kwargs))
+    db.execute("CREATE TABLE r (rid INT, cval REAL, uval REAL UNCERTAIN)")
+    return db
+
+
+class TestTableSynopses:
+    def test_insert_maintains_per_page_bounds(self):
+        db = _make_db()
+        table = db.table("r")
+        for i in range(50):
+            table.insert(
+                certain={"rid": i, "cval": float(i)},
+                uncertain={"uval": GaussianPdf(float(i), 1.0, attr="uval")},
+            )
+        assert set(table.synopses) == set(table.heap.page_ids)
+        total_live = sum(s.live for s in table.synopses.values())
+        assert total_live == 50
+        for syn in table.synopses.values():
+            lo, hi = syn.certain["cval"]
+            assert lo <= hi
+            assert syn.uncertain["uval"][0] <= syn.uncertain["uval"][1]
+
+    def test_rebuild_matches_incremental(self):
+        db = _make_db()
+        table = db.table("r")
+        rids = []
+        for i in range(40):
+            pdf = None if i % 7 == 0 else GaussianPdf(float(i), 2.0, attr="uval")
+            rids.append(
+                table.insert(certain={"rid": i, "cval": float(i)}, uncertain={"uval": pdf})
+            )
+        for rid in rids[::3]:
+            table.delete(rid)
+        before = {
+            pid: (syn.live, dict(syn.certain), {k: list(v) for k, v in syn.uncertain.items()})
+            for pid, syn in table.synopses.items()
+        }
+        table.rebuild_synopses()
+        assert set(table.synopses) == set(before)
+        for pid, syn in table.synopses.items():
+            live, certain, uncertain = before[pid]
+            assert syn.live == live
+            # A rebuild sees only live records, so bounds can only tighten.
+            for attr, (lo, hi) in syn.certain.items():
+                assert certain[attr][0] <= lo and hi <= certain[attr][1]
+            for attr, (ulo, uhi, umass) in (
+                (a, tuple(v)) for a, v in syn.uncertain.items()
+            ):
+                assert uncertain[attr][0] <= ulo and uhi <= uncertain[attr][1]
+                assert umass <= uncertain[attr][2]
+
+    def test_emptied_page_is_pruned(self):
+        db = _make_db()
+        table = db.table("r")
+        rids = []
+        for i in range(60):
+            rids.append(
+                table.insert(
+                    certain={"rid": i, "cval": float(i)},
+                    uncertain={"uval": UniformPdf(i, i + 1.0, attr="uval")},
+                )
+            )
+        pages_before = table.candidate_pages(ScanPruner())
+        first_page = rids[0].page_id
+        for rid in rids:
+            if rid.page_id == first_page:
+                table.delete(rid)
+        pages_after = table.candidate_pages(ScanPruner())
+        assert first_page in pages_before
+        assert first_page not in pages_after
+        res = db.execute("SELECT rid FROM r WHERE cval >= 0")
+        assert len(res) == 60 - sum(1 for r in rids if r.page_id == first_page)
+
+    def test_jumbo_records_have_synopses(self):
+        db = _make_db()
+        db.execute("CREATE TABLE j (rid INT, blob TEXT, uval REAL UNCERTAIN)")
+        table = db.table("j")
+        table.insert(
+            certain={"rid": 1, "blob": "x" * 20000},
+            uncertain={"uval": GaussianPdf(5.0, 1.0, attr="uval")},
+        )
+        table.insert(certain={"rid": 2, "blob": "y"}, uncertain={"uval": None})
+        assert sum(s.live for s in table.synopses.values()) == 2
+        rows = db.execute("SELECT rid FROM j WHERE uval > 0 AND uval < 10").rows
+        assert [t.certain["rid"] for t in rows] == [1]
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: pruned + lazy scans == full scans
+# ---------------------------------------------------------------------------
+
+CONFIGS = {
+    "baseline": dict(scan_pruning=False, lazy_decode=False),
+    "prune": dict(scan_pruning=True, lazy_decode=False),
+    "lazy": dict(scan_pruning=False, lazy_decode=True),
+    "both": dict(scan_pruning=True, lazy_decode=True),
+}
+
+
+@st.composite
+def table_rows(draw, min_size=0, max_size=18):
+    """(rid, cval, pdf_spec) rows; pdf_spec builds fresh per database."""
+    n = draw(st.integers(min_size, max_size))
+    rows = []
+    for i in range(n):
+        cval = draw(st.one_of(st.none(), st.floats(-20, 20, allow_nan=False)))
+        kind = draw(st.integers(0, 3))
+        mu = draw(st.floats(-10, 10))
+        width = draw(st.floats(0.5, 8))
+        cut = draw(st.floats(-12, 12))
+        rows.append((i, cval, (kind, mu, width, cut)))
+    deleted = draw(
+        st.lists(st.integers(0, max(0, n - 1)), unique=True, max_size=n // 2)
+        if n
+        else st.just([])
+    )
+    return rows, deleted
+
+
+def _build_pdf(spec, attr="uval"):
+    kind, mu, width, cut = spec
+    if kind == 0:
+        return None  # NULL pdf
+    if kind == 1:
+        return GaussianPdf(mu, width, attr=attr)
+    if kind == 2:
+        return UniformPdf(mu, mu + width, attr=attr)
+    # Partial pdf: mass < 1 encodes P(tuple absent) > 0.
+    g = GaussianPdf(mu, width, attr=attr)
+    return g.restrict(BoxRegion({attr: IntervalSet([Interval(cut, float("inf"))])}))
+
+
+def _populate(db, rows, deleted):
+    table = db.table("r")
+    rids = []
+    for rid, cval, spec in rows:
+        rids.append(
+            table.insert(
+                certain={"rid": rid, "cval": cval},
+                uncertain={"uval": _build_pdf(spec)},
+            )
+        )
+    for i in deleted:
+        table.delete(rids[i])
+
+
+def _row_key(t, schema):
+    parts = []
+    for attr in schema.visible_attrs:
+        if schema.is_uncertain(attr):
+            pdf = t.pdf_of_attr(attr)
+            parts.append(None if pdf is None else (round(pdf.mass(), 9),))
+        else:
+            parts.append(t.certain.get(attr))
+    return tuple(parts)
+
+
+def _run(query, rows, deleted, workers=1, **flags):
+    PDF_OP_CACHE.reset()
+    db = _make_db(workers=workers, **flags)
+    _populate(db, rows, deleted)
+    res = db.execute(query)
+    return sorted(_row_key(t, res.schema) for t in res.rows)
+
+
+QUERIES = [
+    "SELECT rid, cval, uval FROM r WHERE cval > -5 AND cval < 5",
+    "SELECT rid FROM r WHERE uval > 0 AND uval < 4",
+    "SELECT rid, uval FROM r WHERE cval >= 0 AND uval > -2",
+    "SELECT rid FROM r WHERE PROB(uval > 1) >= 0.3",
+    "SELECT rid FROM r WHERE PROB(uval > 0 AND uval < 6) > 0.5",
+    "SELECT rid FROM r WHERE PROB(*) >= 0.6",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@settings(max_examples=15, deadline=None)
+@given(data=table_rows())
+def test_pruned_scan_equivalence(query, data):
+    rows, deleted = data
+    baseline = _run(query, rows, deleted, **CONFIGS["baseline"])
+    for name, flags in CONFIGS.items():
+        if name == "baseline":
+            continue
+        assert _run(query, rows, deleted, **flags) == baseline, name
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=table_rows(max_size=14))
+def test_pruned_scan_equivalence_parallel(data):
+    rows, deleted = data
+    query = "SELECT rid, uval FROM r WHERE cval > -8 AND uval > -4 AND uval < 6"
+    baseline = _run(query, rows, deleted, workers=1, **CONFIGS["baseline"])
+    assert _run(query, rows, deleted, workers=2, **CONFIGS["both"]) == baseline
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=table_rows(min_size=1, max_size=10), lo=st.floats(-6, 6))
+def test_pruned_join_equivalence(data, lo):
+    rows, deleted = data
+
+    def run(flags, workers=1):
+        PDF_OP_CACHE.reset()
+        db = _make_db(workers=workers, **flags)
+        _populate(db, rows, deleted)
+        db.execute("CREATE TABLE s (sid INT, key REAL)")
+        for i in range(6):
+            db.execute(f"INSERT INTO s VALUES ({i}, {float(i)})")
+        res = db.execute(
+            "SELECT r.rid, s.sid FROM r, s "
+            f"WHERE r.cval = s.key AND r.cval > {lo}"
+        )
+        return sorted(_row_key(t, res.schema) for t in res.rows)
+
+    baseline = run(CONFIGS["baseline"])
+    assert run(CONFIGS["both"]) == baseline
+    assert run(CONFIGS["both"], workers=2) == baseline

@@ -252,6 +252,24 @@ class TestHeapFile:
         with pytest.raises(StorageError):
             heap.read(RID(999, 0))
 
+    def test_delete_foreign_rid_rejected(self):
+        """delete() must reject RIDs whose page was never part of this file.
+
+        Regression test: delete() used to skip the membership check read()
+        performs, so a stray RID could corrupt an unrelated file's page.
+        """
+        pool = BufferPool(MemoryDisk(), capacity=8)
+        heap = HeapFile(pool, name="t")
+        other = HeapFile(pool, name="other")
+        rid_other = other.insert(b"x")
+        heap.insert(b"a")
+        with pytest.raises(StorageError):
+            heap.delete(RID(999, 0))
+        with pytest.raises(StorageError):
+            heap.delete(rid_other)
+        assert len(other) == 1
+        assert other.read(rid_other) == b"x"
+
     def test_survives_buffer_pressure(self):
         """Data outlives eviction: everything reads back after cache churn."""
         heap = self._heap(capacity=2)
