@@ -101,17 +101,47 @@ class HistoryStore:
 
     def __init__(self) -> None:
         self._entries: Dict[AncestorRef, _Entry] = {}
+        #: secondary index: tuple_id -> its registered refs (kept in sync so
+        #: base-tuple deletion and transaction undo capture are O(refs), not
+        #: O(store)).
+        self._by_tuple: Dict[int, set] = {}
         self._next_tuple_id = 0
         self._id_lock = threading.Lock()
 
     def __getstate__(self):
         state = self.__dict__.copy()
         del state["_id_lock"]
+        del state["_by_tuple"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._id_lock = threading.Lock()
+        self._rebuild_by_tuple()
+
+    def _rebuild_by_tuple(self) -> None:
+        """Recompute the tuple-id index from ``_entries``.
+
+        Called after code paths that write ``_entries`` directly (snapshot
+        load, transaction undo restore).
+        """
+        self._by_tuple = {}
+        for ref in self._entries:
+            self._by_tuple.setdefault(ref.tuple_id, set()).add(ref)
+
+    def _index_add(self, ref: AncestorRef) -> None:
+        self._by_tuple.setdefault(ref.tuple_id, set()).add(ref)
+
+    def _index_discard(self, ref: AncestorRef) -> None:
+        refs = self._by_tuple.get(ref.tuple_id)
+        if refs is not None:
+            refs.discard(ref)
+            if not refs:
+                del self._by_tuple[ref.tuple_id]
+
+    def refs_of_tuple(self, tuple_id: int) -> frozenset:
+        """Every registered ref (live or phantom) owned by ``tuple_id``."""
+        return frozenset(self._by_tuple.get(tuple_id, ()))
 
     # -- identity ---------------------------------------------------------
 
@@ -133,6 +163,7 @@ class HistoryStore:
         if ref in self._entries:
             raise HistoryError(f"ancestor {ref!r} is already registered")
         self._entries[ref] = _Entry(pdf=pdf)
+        self._index_add(ref)
         return ref
 
     def __contains__(self, ref: AncestorRef) -> bool:
@@ -172,6 +203,7 @@ class HistoryStore:
             entry.refcount -= 1
             if entry.refcount == 0 and not entry.alive:
                 del self._entries[link.ref]
+                self._index_discard(link.ref)
 
     def delete_base_tuple(self, tuple_id: int) -> None:
         """Base-tuple deletion: referenced sets become phantom nodes.
@@ -179,10 +211,11 @@ class HistoryStore:
         Unreferenced dependency sets disappear immediately; referenced ones
         are kept (phantom) until their reference count falls to zero.
         """
-        for ref in [r for r in self._entries if r.tuple_id == tuple_id]:
+        for ref in list(self._by_tuple.get(tuple_id, ())):
             entry = self._entries[ref]
             if entry.refcount == 0:
                 del self._entries[ref]
+                self._index_discard(ref)
             else:
                 entry.alive = False
 

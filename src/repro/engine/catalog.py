@@ -15,6 +15,7 @@ from ..core.model import DEFAULT_CONFIG, ModelConfig, ProbabilisticSchema
 from .storage.buffer import BufferPool
 from .storage.disk import Disk, MemoryDisk
 from .table import Table
+from .wal import TransactionManager
 
 __all__ = ["Catalog"]
 
@@ -34,15 +35,23 @@ class Catalog:
         self.config = config
         self.store_lineage = store_lineage
         self.tables: Dict[str, Table] = {}
+        #: transaction state shared by every table (WAL redo + precise undo)
+        self.txn = TransactionManager(self)
 
     def create_table(self, name: str, schema: ProbabilisticSchema) -> Table:
         key = name.lower()
         if key in self.tables:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(
-            name, schema, self.pool, self.store, store_lineage=self.store_lineage
+            name,
+            schema,
+            self.pool,
+            self.store,
+            store_lineage=self.store_lineage,
+            txn=self.txn,
         )
         self.tables[key] = table
+        self.txn.on_create_table(table)
         return table
 
     def get_table(self, name: str) -> Table:
@@ -57,6 +66,8 @@ class Catalog:
         key = name.lower()
         if key not in self.tables:
             raise CatalogError(f"unknown table {name!r}")
+        # The hook captures pre-drop history entries for undo/redo first.
+        self.txn.on_drop_table(self.tables[key])
         table = self.tables.pop(key)
         # Release ancestor references so phantom bookkeeping stays accurate.
         for rid, t in list(table.scan()):

@@ -15,6 +15,7 @@ queryable system with uncertainty as a first-class citizen.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -143,8 +144,28 @@ class QueryResult:
         return "\n".join(lines)
 
 
+#: statements that mutate state and therefore run inside a transaction
+_MUTATING_STATEMENTS = (
+    ast.CreateTable,
+    ast.CreateTableAs,
+    ast.DropTable,
+    ast.CreateIndex,
+    ast.Insert,
+    ast.Delete,
+    ast.Update,
+    ast.Analyze,
+)
+
+
 class Database:
-    """A complete probabilistic database instance."""
+    """A complete probabilistic database instance.
+
+    With ``path`` set, the database is *durable*: the directory holds a
+    checkpoint (``data.ckpt``) and a write-ahead log (``wal.log``); opening
+    runs crash recovery, every committed statement is logged, and
+    ``group_commit`` batches fsyncs (1 = fsync on every commit).  Without
+    ``path`` the same transaction machinery runs purely in memory.
+    """
 
     def __init__(
         self,
@@ -152,13 +173,40 @@ class Database:
         buffer_capacity: int = 256,
         config: ModelConfig = DEFAULT_CONFIG,
         store_lineage: bool = True,
+        path: Optional[str] = None,
+        group_commit: int = 1,
+        checkpoint_every: Optional[int] = None,
     ):
-        self.catalog = Catalog(
-            disk=disk,
-            buffer_capacity=buffer_capacity,
-            config=config,
-            store_lineage=store_lineage,
-        )
+        self.path = path
+        self.checkpoint_every = checkpoint_every
+        self._wal = None
+        self._commits_since_checkpoint = 0
+        if path is None:
+            self.catalog = Catalog(
+                disk=disk,
+                buffer_capacity=buffer_capacity,
+                config=config,
+                store_lineage=store_lineage,
+            )
+        else:
+            from .wal import open_durable
+
+            recovered, wal = open_durable(
+                path,
+                buffer_capacity=buffer_capacity,
+                config=config,
+                store_lineage=store_lineage,
+                group_commit=group_commit,
+            )
+            self.catalog = recovered.catalog
+            self._wal = wal
+            self.catalog.txn.wal = wal
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- convenience accessors -------------------------------------------------
 
@@ -181,11 +229,85 @@ class Database:
     def table(self, name: str) -> Table:
         return self.catalog.get_table(name)
 
+    # -- transactions -----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Start an explicit transaction (suspends per-statement autocommit)."""
+        self.catalog.txn.begin()
+
+    def commit(self) -> None:
+        """Commit the explicit transaction (fsynced per the group-commit window)."""
+        self.catalog.txn.commit()
+        self._after_commit()
+
+    def abort(self) -> None:
+        """Roll the explicit transaction back; precise undo restores state."""
+        self.catalog.txn.abort()
+
+    rollback = abort
+
+    @contextmanager
+    def _autocommit(self):
+        """Wrap one mutating statement in a transaction, unless one is open."""
+        txn = self.catalog.txn
+        if txn.active:
+            yield  # explicit BEGIN ... COMMIT in progress
+            return
+        txn.begin()
+        try:
+            yield
+        except Exception:
+            # InjectedCrash is a BaseException and deliberately skips this
+            # handler: a simulated power cut must not run undo.
+            txn.abort()
+            raise
+        txn.commit()
+        self._after_commit()
+
+    def _after_commit(self) -> None:
+        if self._wal is None or not self.checkpoint_every:
+            return
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into ``data.ckpt`` and reset the log (durable only)."""
+        from .wal import write_checkpoint
+
+        write_checkpoint(self)
+        self._commits_since_checkpoint = 0
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log (no-op for in-memory databases)."""
+        if self._wal is not None:
+            self._wal.close()
+
     # -- statement execution ------------------------------------------------------
 
     def execute(self, sql: str) -> QueryResult:
-        """Parse, plan, and run one SQL statement."""
+        """Parse, plan, and run one SQL statement.
+
+        Mutating statements autocommit unless an explicit transaction is
+        open; on a durable database each commit is WAL-logged before the
+        statement is acknowledged.
+        """
         stmt = parse(sql)
+        if isinstance(stmt, ast.Begin):
+            self.begin()
+            return QueryResult(message="BEGIN")
+        if isinstance(stmt, ast.Commit):
+            self.commit()
+            return QueryResult(message="COMMIT")
+        if isinstance(stmt, ast.Rollback):
+            self.abort()
+            return QueryResult(message="ROLLBACK")
+        if isinstance(stmt, _MUTATING_STATEMENTS):
+            with self._autocommit():
+                return self._run_statement(stmt)
+        return self._run_statement(stmt)
+
+    def _run_statement(self, stmt: ast.Statement) -> QueryResult:
         if isinstance(stmt, ast.CreateTable):
             self.catalog.create_table(stmt.name, build_schema(stmt))
             return QueryResult(message=f"CREATE TABLE {stmt.name}")
@@ -220,8 +342,13 @@ class Database:
             names = (
                 [stmt.table] if stmt.table is not None else sorted(self.catalog.tables)
             )
+            prev = {
+                name.lower(): self.catalog.get_table(name).statistics
+                for name in names
+            }
             for name in names:
                 analyze_table(self.catalog.get_table(name))
+            self.catalog.txn.on_analyze(stmt.table or "", prev)
             return QueryResult(message=f"ANALYZE {len(names)} table(s)")
         if isinstance(stmt, ast.Explain):
             plan = plan_select(self.catalog, stmt.query)
@@ -453,6 +580,77 @@ class Database:
         for t in rows:
             table.insert_tuple(t)
         return len(rows)
+
+    # -- state fingerprinting ----------------------------------------------------------------
+
+    def dump_state(self) -> Dict:
+        """A canonical, comparison-stable dump of all logical state.
+
+        Used by the crash-safety suite: a recovered database must dump
+        bit-identically to a never-crashed oracle that replayed the same
+        committed statements.  Covers certain values, pdf encodings,
+        dependency sets, lineage, index definitions, the analyzed flag, and
+        the full history store.  Deliberately excluded: page layout (dead
+        slots differ after undo), planner statistics (recomputed on
+        recovery), and the next-tuple-id watermark (SELECTs consume ids for
+        transient tuples without logging them).
+        """
+        from .storage.serialize import encode_pdf
+
+        tables: Dict[str, Dict] = {}
+        for key in sorted(self.catalog.tables):
+            table = self.catalog.tables[key]
+            rows = []
+            for _rid, t in table.scan():
+                rows.append(
+                    {
+                        "tuple_id": t.tuple_id,
+                        "certain": {k: t.certain[k] for k in sorted(t.certain)},
+                        "pdfs": {
+                            ",".join(sorted(dep)): (
+                                None if pdf is None else encode_pdf(pdf).hex()
+                            )
+                            for dep, pdf in t.pdfs.items()
+                        },
+                        "lineage": {
+                            ",".join(sorted(dep)): sorted(
+                                repr(link) for link in lin
+                            )
+                            for dep, lin in t.lineage.items()
+                        },
+                    }
+                )
+            rows.sort(key=lambda r: r["tuple_id"])
+            tables[key] = {
+                "columns": [
+                    (c.name, c.dtype.value) for c in table.schema.columns
+                ],
+                "dependencies": sorted(
+                    sorted(dep) for dep in table.schema.dependency
+                ),
+                "rows": rows,
+                "btrees": sorted(table.btrees),
+                "ptis": sorted(table.ptis),
+                "spatials": sorted(
+                    (list(attrs), index.cell_size)
+                    for attrs, index in table.spatials.items()
+                ),
+                "analyzed": table.statistics is not None,
+            }
+        store = self.catalog.store
+        history = sorted(
+            (
+                {
+                    "ref": repr(ref),
+                    "refcount": entry.refcount,
+                    "alive": entry.alive,
+                    "pdf": encode_pdf(entry.pdf).hex(),
+                }
+                for ref, entry in store._entries.items()
+            ),
+            key=lambda e: e["ref"],
+        )
+        return {"tables": tables, "history": history}
 
     # -- persistence -----------------------------------------------------------------------
 

@@ -12,13 +12,16 @@ Statements end with ``;``.  Dot-commands:
 ``.schema NAME`` show one table's probabilistic schema
 ``.stats``       buffer pool and I/O statistics
 ``.save PATH``   snapshot the database to a file
-``.open PATH``   replace the session with a saved snapshot
+``.open PATH``   replace the session with a saved snapshot, or with a
+                 durable (WAL) database directory — recovers on open
+``.checkpoint``  fold the WAL into the checkpoint (durable sessions)
 ``.quit``        exit
 =============== =====================================================
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import IO, Optional
 
@@ -89,8 +92,16 @@ class Shell:
             if not arg:
                 self.println("usage: .open PATH")
                 return
-            self.db = Database.open(arg)
+            self.db.close()
+            self.db = _open_any(arg)
             self.println(f"opened {arg}")
+        elif command == ".checkpoint":
+            try:
+                self.db.checkpoint()
+            except ReproError as exc:
+                self.println(f"error: {exc}")
+            else:
+                self.println("checkpoint written")
         else:
             self.println(f"unknown command {command}; try .help")
 
@@ -133,10 +144,21 @@ class Shell:
             self.feed_line(line)
 
 
+def _open_any(path: str) -> Database:
+    """Open ``path`` as a snapshot file or a durable WAL directory.
+
+    A directory (existing or to-be-created) opens with recovery and a
+    live WAL; an existing regular file loads as a snapshot.
+    """
+    if os.path.isfile(path):
+        return Database.open(path)
+    return Database(path=path)
+
+
 def main(argv: Optional[list] = None) -> None:
     argv = argv if argv is not None else sys.argv[1:]
     if argv:
-        db = Database.open(argv[0])
+        db = _open_any(argv[0])
         print(f"opened {argv[0]}")
     else:
         db = Database()

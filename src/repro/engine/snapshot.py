@@ -17,6 +17,8 @@ snapshots before creating new categorical data when mixing sources.
 
 from __future__ import annotations
 
+import io
+import os
 import struct
 from typing import BinaryIO, Dict
 
@@ -24,9 +26,17 @@ from ..core.history import AncestorRef
 from ..core.model import Column, DataType, ProbabilisticSchema
 from ..errors import SerializationError
 from ..pdf.discrete import _LABELS, label_code
+from . import faults
 from .storage.serialize import decode_pdf, encode_pdf
 
-__all__ = ["save_database", "load_database"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "write_snapshot",
+    "read_snapshot",
+    "encode_schema",
+    "decode_schema",
+]
 
 _MAGIC = b"RPDB"
 _VERSION = 5
@@ -81,167 +91,203 @@ def _r_schema(f: BinaryIO) -> ProbabilisticSchema:
     return ProbabilisticSchema(columns, dependency)
 
 
+def encode_schema(schema: ProbabilisticSchema) -> bytes:
+    """A probabilistic schema as self-contained bytes (WAL record payload)."""
+    buf = io.BytesIO()
+    _w_schema(buf, schema)
+    return buf.getvalue()
+
+
+def decode_schema(data: bytes) -> ProbabilisticSchema:
+    return _r_schema(io.BytesIO(data))
+
+
 def save_database(db, path: str) -> None:
-    """Serialize a :class:`~repro.engine.database.Database` to ``path``."""
+    """Serialize a database to ``path`` via write-temp-then-atomic-rename.
+
+    The snapshot is first written (and fsynced) to ``path + ".tmp"`` and
+    only then moved over ``path`` with :func:`os.replace`, so a crash at
+    any point leaves either the old snapshot or the new one — never a
+    torn in-between.
+    """
+    buf = io.BytesIO()
+    write_snapshot(db, buf)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        faults.torn_write("snapshot.write.torn", f, buf.getvalue())
+        f.flush()
+        os.fsync(f.fileno())
+    faults.reach("snapshot.rename.before")
+    os.replace(tmp, path)
+    faults.reach("snapshot.rename.after")
+
+
+def write_snapshot(db, f: BinaryIO) -> None:
+    """Serialize a :class:`~repro.engine.database.Database` to a stream."""
     catalog = db.catalog
     catalog.pool.flush_all()
-    with open(path, "wb") as f:
-        f.write(_MAGIC)
-        f.write(struct.pack("<I", _VERSION))
+    f.write(_MAGIC)
+    f.write(struct.pack("<I", _VERSION))
 
-        # Label interning table (order defines the codes).
-        f.write(struct.pack("<I", len(_LABELS)))
-        for label in _LABELS:
-            _w_str(f, label)
+    # Label interning table (order defines the codes).
+    f.write(struct.pack("<I", len(_LABELS)))
+    for label in _LABELS:
+        _w_str(f, label)
 
-        # History store.
-        store = catalog.store
-        entries = store._entries  # snapshotting is a friend of the store
-        f.write(struct.pack("<q", store._next_tuple_id))
-        f.write(struct.pack("<I", len(entries)))
-        for ref, entry in entries.items():
-            f.write(struct.pack("<q", ref.tuple_id))
-            attrs = sorted(ref.attrs)
+    # History store.
+    store = catalog.store
+    entries = store._entries  # snapshotting is a friend of the store
+    f.write(struct.pack("<q", store._next_tuple_id))
+    f.write(struct.pack("<I", len(entries)))
+    for ref, entry in entries.items():
+        f.write(struct.pack("<q", ref.tuple_id))
+        attrs = sorted(ref.attrs)
+        f.write(struct.pack("<H", len(attrs)))
+        for a in attrs:
+            _w_str(f, a)
+        f.write(struct.pack("<qB", entry.refcount, 1 if entry.alive else 0))
+        _w_bytes(f, encode_pdf(entry.pdf))
+
+    # Pages (from the flushed disk).
+    disk = catalog.pool.disk
+    page_images: Dict[int, bytes] = {}
+    for table in catalog.tables.values():
+        for page_id in table.heap.page_ids:
+            page_images[page_id] = bytes(disk.read_page(page_id))
+    f.write(struct.pack("<I", len(page_images)))
+    for page_id in sorted(page_images):
+        f.write(struct.pack("<q", page_id))
+        _w_bytes(f, page_images[page_id])
+
+    # Tables.
+    f.write(struct.pack("<I", len(catalog.tables)))
+    for table in catalog.tables.values():
+        _w_str(f, table.name)
+        _w_schema(f, table.schema)
+        f.write(struct.pack("<I", len(table.heap.page_ids)))
+        for page_id in table.heap.page_ids:
+            jumbo = page_id in table.heap._jumbo_pages
+            f.write(struct.pack("<qB", page_id, 1 if jumbo else 0))
+        f.write(struct.pack("<q", len(table.heap)))
+        # Index definitions (rebuilt from data on load).
+        f.write(struct.pack("<H", len(table.btrees)))
+        for attr in table.btrees:
+            _w_str(f, attr)
+        f.write(struct.pack("<H", len(table.ptis)))
+        for attr in table.ptis:
+            _w_str(f, attr)
+        f.write(struct.pack("<H", len(table.spatials)))
+        for attrs, index in table.spatials.items():
             f.write(struct.pack("<H", len(attrs)))
-            for a in attrs:
-                _w_str(f, a)
-            f.write(struct.pack("<qB", entry.refcount, 1 if entry.alive else 0))
-            _w_bytes(f, encode_pdf(entry.pdf))
-
-        # Pages (from the flushed disk).
-        disk = catalog.pool.disk
-        page_images: Dict[int, bytes] = {}
-        for table in catalog.tables.values():
-            for page_id in table.heap.page_ids:
-                page_images[page_id] = bytes(disk.read_page(page_id))
-        f.write(struct.pack("<I", len(page_images)))
-        for page_id in sorted(page_images):
-            f.write(struct.pack("<q", page_id))
-            _w_bytes(f, page_images[page_id])
-
-        # Tables.
-        f.write(struct.pack("<I", len(catalog.tables)))
-        for table in catalog.tables.values():
-            _w_str(f, table.name)
-            _w_schema(f, table.schema)
-            f.write(struct.pack("<I", len(table.heap.page_ids)))
-            for page_id in table.heap.page_ids:
-                jumbo = page_id in table.heap._jumbo_pages
-                f.write(struct.pack("<qB", page_id, 1 if jumbo else 0))
-            f.write(struct.pack("<q", len(table.heap)))
-            # Index definitions (rebuilt from data on load).
-            f.write(struct.pack("<H", len(table.btrees)))
-            for attr in table.btrees:
+            for attr in attrs:
                 _w_str(f, attr)
-            f.write(struct.pack("<H", len(table.ptis)))
-            for attr in table.ptis:
-                _w_str(f, attr)
-            f.write(struct.pack("<H", len(table.spatials)))
-            for attrs, index in table.spatials.items():
-                f.write(struct.pack("<H", len(attrs)))
-                for attr in attrs:
-                    _w_str(f, attr)
-                f.write(struct.pack("<d", index.cell_size))
+            f.write(struct.pack("<d", index.cell_size))
 
 
 def load_database(path: str, buffer_capacity: int = 256, config=None):
     """Rebuild a database from a snapshot file."""
+    with open(path, "rb") as f:
+        return read_snapshot(f, buffer_capacity=buffer_capacity, config=config)
+
+
+def read_snapshot(f: BinaryIO, buffer_capacity: int = 256, config=None):
+    """Rebuild a database from an open snapshot stream."""
     from ..core.model import DEFAULT_CONFIG
     from .database import Database
     from .storage.disk import MemoryDisk
 
-    with open(path, "rb") as f:
-        if f.read(4) != _MAGIC:
-            raise SerializationError(f"{path!r} is not a repro database snapshot")
-        (version,) = struct.unpack("<I", f.read(4))
-        if version != _VERSION:
+    if f.read(4) != _MAGIC:
+        raise SerializationError("stream is not a repro database snapshot")
+    (version,) = struct.unpack("<I", f.read(4))
+    if version != _VERSION:
+        raise SerializationError(
+            f"snapshot version {version} != supported {_VERSION}"
+        )
+
+    # Re-intern labels and verify code stability.
+    (n_labels,) = struct.unpack("<I", f.read(4))
+    for expected_code in range(n_labels):
+        label = _r_str(f)
+        code = int(label_code(label))
+        if code != expected_code:
             raise SerializationError(
-                f"snapshot version {version} != supported {_VERSION}"
+                f"label {label!r} interned at code {code}, snapshot expects "
+                f"{expected_code}; load snapshots before creating new "
+                "categorical data"
             )
 
-        # Re-intern labels and verify code stability.
-        (n_labels,) = struct.unpack("<I", f.read(4))
-        for expected_code in range(n_labels):
-            label = _r_str(f)
-            code = int(label_code(label))
-            if code != expected_code:
-                raise SerializationError(
-                    f"label {label!r} interned at code {code}, snapshot expects "
-                    f"{expected_code}; load snapshots before creating new "
-                    "categorical data"
-                )
+    db = Database(
+        disk=MemoryDisk(),
+        buffer_capacity=buffer_capacity,
+        config=config or DEFAULT_CONFIG,
+    )
+    catalog = db.catalog
+    store = catalog.store
 
-        db = Database(
-            disk=MemoryDisk(),
-            buffer_capacity=buffer_capacity,
-            config=config or DEFAULT_CONFIG,
-        )
-        catalog = db.catalog
-        store = catalog.store
+    # History store.
+    (next_tuple_id,) = struct.unpack("<q", f.read(8))
+    store._next_tuple_id = next_tuple_id
+    (n_entries,) = struct.unpack("<I", f.read(4))
+    for _ in range(n_entries):
+        (tuple_id,) = struct.unpack("<q", f.read(8))
+        (k,) = struct.unpack("<H", f.read(2))
+        attrs = frozenset(_r_str(f) for _ in range(k))
+        refcount, alive = struct.unpack("<qB", f.read(9))
+        pdf, _ = decode_pdf(_r_bytes(f))
+        ref = AncestorRef(tuple_id, attrs)
+        from ..core.history import _Entry
 
-        # History store.
-        (next_tuple_id,) = struct.unpack("<q", f.read(8))
-        store._next_tuple_id = next_tuple_id
-        (n_entries,) = struct.unpack("<I", f.read(4))
-        for _ in range(n_entries):
-            (tuple_id,) = struct.unpack("<q", f.read(8))
+        store._entries[ref] = _Entry(pdf=pdf, refcount=refcount, alive=bool(alive))
+    store._rebuild_by_tuple()
+
+    # Pages, written straight onto the fresh disk with matching ids.
+    disk = catalog.pool.disk
+    (n_pages,) = struct.unpack("<I", f.read(4))
+    page_map: Dict[int, bytes] = {}
+    max_page_id = -1
+    for _ in range(n_pages):
+        (page_id,) = struct.unpack("<q", f.read(8))
+        page_map[page_id] = _r_bytes(f)
+        max_page_id = max(max_page_id, page_id)
+    if max_page_id >= 0:
+        while disk.allocate() < max_page_id:
+            pass
+        for page_id, image in page_map.items():
+            disk.write_page(page_id, image)
+
+    # Tables.
+    (n_tables,) = struct.unpack("<I", f.read(4))
+    for _ in range(n_tables):
+        name = _r_str(f)
+        schema = _r_schema(f)
+        table = catalog.create_table(name, schema)
+        (n_table_pages,) = struct.unpack("<I", f.read(4))
+        for _ in range(n_table_pages):
+            page_id, jumbo = struct.unpack("<qB", f.read(9))
+            table.heap.page_ids.append(page_id)
+            table.heap._page_set.add(page_id)
+            if jumbo:
+                table.heap._jumbo_pages.add(page_id)
+                catalog.pool._jumbo[page_id] = True
+        (record_count,) = struct.unpack("<q", f.read(8))
+        table.heap._record_count = record_count
+        (n_btrees,) = struct.unpack("<H", f.read(2))
+        btree_attrs = [_r_str(f) for _ in range(n_btrees)]
+        (n_ptis,) = struct.unpack("<H", f.read(2))
+        pti_attrs = [_r_str(f) for _ in range(n_ptis)]
+        (n_spatials,) = struct.unpack("<H", f.read(2))
+        spatial_defs = []
+        for _ in range(n_spatials):
             (k,) = struct.unpack("<H", f.read(2))
-            attrs = frozenset(_r_str(f) for _ in range(k))
-            refcount, alive = struct.unpack("<qB", f.read(9))
-            pdf, _ = decode_pdf(_r_bytes(f))
-            ref = AncestorRef(tuple_id, attrs)
-            from ..core.history import _Entry
-
-            store._entries[ref] = _Entry(pdf=pdf, refcount=refcount, alive=bool(alive))
-
-        # Pages, written straight onto the fresh disk with matching ids.
-        disk = catalog.pool.disk
-        (n_pages,) = struct.unpack("<I", f.read(4))
-        page_map: Dict[int, bytes] = {}
-        max_page_id = -1
-        for _ in range(n_pages):
-            (page_id,) = struct.unpack("<q", f.read(8))
-            page_map[page_id] = _r_bytes(f)
-            max_page_id = max(max_page_id, page_id)
-        if max_page_id >= 0:
-            while disk.allocate() < max_page_id:
-                pass
-            for page_id, image in page_map.items():
-                disk.write_page(page_id, image)
-
-        # Tables.
-        (n_tables,) = struct.unpack("<I", f.read(4))
-        for _ in range(n_tables):
-            name = _r_str(f)
-            schema = _r_schema(f)
-            table = catalog.create_table(name, schema)
-            (n_table_pages,) = struct.unpack("<I", f.read(4))
-            for _ in range(n_table_pages):
-                page_id, jumbo = struct.unpack("<qB", f.read(9))
-                table.heap.page_ids.append(page_id)
-                table.heap._page_set.add(page_id)
-                if jumbo:
-                    table.heap._jumbo_pages.add(page_id)
-                    catalog.pool._jumbo[page_id] = True
-            (record_count,) = struct.unpack("<q", f.read(8))
-            table.heap._record_count = record_count
-            (n_btrees,) = struct.unpack("<H", f.read(2))
-            btree_attrs = [_r_str(f) for _ in range(n_btrees)]
-            (n_ptis,) = struct.unpack("<H", f.read(2))
-            pti_attrs = [_r_str(f) for _ in range(n_ptis)]
-            (n_spatials,) = struct.unpack("<H", f.read(2))
-            spatial_defs = []
-            for _ in range(n_spatials):
-                (k,) = struct.unpack("<H", f.read(2))
-                attrs = tuple(_r_str(f) for _ in range(k))
-                (cell_size,) = struct.unpack("<d", f.read(8))
-                spatial_defs.append((attrs, cell_size))
-            for attr in btree_attrs:
-                table.create_btree_index(attr)
-            for attr in pti_attrs:
-                table.create_pti_index(attr)
-            for attrs, cell_size in spatial_defs:
-                table.create_spatial_index(attrs, cell_size=cell_size)
-            # Page synopses are derived state, rebuilt like the indexes.
-            table.rebuild_synopses()
+            attrs = tuple(_r_str(f) for _ in range(k))
+            (cell_size,) = struct.unpack("<d", f.read(8))
+            spatial_defs.append((attrs, cell_size))
+        for attr in btree_attrs:
+            table.create_btree_index(attr)
+        for attr in pti_attrs:
+            table.create_pti_index(attr)
+        for attrs, cell_size in spatial_defs:
+            table.create_spatial_index(attrs, cell_size=cell_size)
+        # Page synopses are derived state, rebuilt like the indexes.
+        table.rebuild_synopses()
     return db

@@ -31,6 +31,9 @@ __all__ = [
     "Update",
     "Select",
     "Explain",
+    "Begin",
+    "Commit",
+    "Rollback",
     "TableRef",
     "ColumnExpr",
     "LiteralExpr",
@@ -261,3 +264,21 @@ class Update(Statement):
 class CreateTableAs(Statement):
     name: str
     query: "Select"
+
+
+# -- transactions ---------------------------------------------------------------------
+
+
+@dataclass
+class Begin(Statement):
+    """BEGIN [TRANSACTION]: suspend autocommit until COMMIT/ROLLBACK."""
+
+
+@dataclass
+class Commit(Statement):
+    """COMMIT: make the open transaction durable."""
+
+
+@dataclass
+class Rollback(Statement):
+    """ROLLBACK: undo the open transaction."""

@@ -19,6 +19,7 @@ KEYWORDS = {
     "CREATE", "TABLE", "DROP", "INDEX", "PROB", "SPATIAL", "ON",
     "INSERT", "INTO", "VALUES", "DELETE", "FROM",
     "UPDATE", "SET", "GROUP", "DISTINCT", "BETWEEN", "IN",
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
     "SELECT", "WHERE", "AND", "OR", "NOT", "AS",
     "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "EXPLAIN", "ANALYZE", "IS",
     "INT", "INTEGER", "REAL", "FLOAT", "DOUBLE", "BOOL", "BOOLEAN", "TEXT", "VARCHAR",

@@ -155,6 +155,13 @@ class _Parser:
     # -- entry ------------------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
+        if self.accept_keyword("BEGIN"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Begin()
+        if self.accept_keyword("COMMIT"):
+            return ast.Commit()
+        if self.accept_keyword("ROLLBACK"):
+            return ast.Rollback()
         if self.accept_keyword("EXPLAIN"):
             analyze = self.accept_keyword("ANALYZE") is not None
             return ast.Explain(self.parse_select(), analyze=analyze)

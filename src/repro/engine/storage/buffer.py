@@ -120,9 +120,12 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write every dirty cached page back to disk."""
+        from .. import faults
+
         with self._latch:
             for page_id, page in self._frames.items():
                 if page.dirty:
+                    faults.reach("heap.page.write")
                     self.disk.write_page(page_id, bytes(page.data))
                     page.dirty = False
                     self.stats.flushes += 1

@@ -46,12 +46,16 @@ class Table:
         pool: BufferPool,
         store: HistoryStore,
         store_lineage: bool = True,
+        txn=None,
     ):
         self.name = name
         self.schema = schema
         self.pool = pool
         self.store = store
         self.store_lineage = store_lineage
+        #: the catalog's TransactionManager (None for standalone tables);
+        #: mutation hooks buffer WAL redo records and precise undo entries
+        self.txn = txn
         self.heap = HeapFile(pool, name=name)
         self.btrees: Dict[str, BPlusTree] = {}
         self.ptis: Dict[str, ProbabilityThresholdIndex] = {}
@@ -76,6 +80,8 @@ class Table:
         rid = self.heap.insert(encode_tuple(t, store_lineage=self.store_lineage))
         self._synopsis_insert(rid, t)
         self._index_insert(rid, t)
+        if self.txn is not None:
+            self.txn.on_insert(self, rid, t, base=True)
         return rid
 
     def insert_tuple(self, t: ProbabilisticTuple, acquire: bool = True) -> RID:
@@ -91,11 +97,17 @@ class Table:
         rid = self.heap.insert(encode_tuple(t, store_lineage=self.store_lineage))
         self._synopsis_insert(rid, t)
         self._index_insert(rid, t)
+        if self.txn is not None:
+            self.txn.on_insert(self, rid, t, base=False, acquired=acquire)
         return rid
 
     def delete(self, rid: RID) -> None:
         """Delete a base tuple; referenced pdfs become phantom nodes."""
         t = self.read(rid)
+        if self.txn is not None:
+            # Hooked before mutating: captures the record bytes and the
+            # history entries this delete will phantomise or remove.
+            self.txn.on_delete(self, rid, t)
         self.heap.delete(rid)
         syn = self.synopses.get(rid.page_id)
         if syn is not None:
@@ -232,6 +244,8 @@ class Table:
             if value is not None:
                 tree.insert(value, rid)
         self.btrees[attr] = tree
+        if self.txn is not None:
+            self.txn.on_create_index(self, "btree", (attr,))
         return tree
 
     def create_pti_index(self, attr: str) -> ProbabilityThresholdIndex:
@@ -248,6 +262,8 @@ class Table:
             if marginal is not None:
                 index.insert(rid, marginal)
         self.ptis[attr] = index
+        if self.txn is not None:
+            self.txn.on_create_index(self, "pti", (attr,))
         return index
 
     def create_spatial_index(
@@ -272,6 +288,8 @@ class Table:
             if pdf is not None:
                 index.insert(rid, pdf)
         self.spatials[attrs] = index
+        if self.txn is not None:
+            self.txn.on_create_index(self, "spatial", attrs, cell_size=cell_size)
         return index
 
     def _spatial_pdf(self, t: ProbabilisticTuple, attrs: Tuple[str, ...]):

@@ -1,0 +1,823 @@
+"""Write-ahead logging, transactions, checkpoints, and crash recovery.
+
+Durability follows the classic redo-only WAL design, specialised to the
+probabilistic data model: a log record carries everything the paper's
+history mechanism needs to rebuild PWS-consistent state — the full pdf
+payloads, the dependency-set membership, and the ancestor ids of every
+inserted tuple — so that replaying the committed prefix reconstructs heap
+pages, secondary indexes, page synopses, *and* the history store (Λ)
+exactly as a never-crashed database would hold them.
+
+Protocol
+--------
+
+* Mutations inside a transaction apply to the live engine immediately but
+  are only *buffered* as logical redo records.  ``COMMIT`` writes the whole
+  transaction — op frames followed by a commit frame — as one contiguous
+  append, then fsyncs (every transaction when ``group_commit=1``, every
+  N-th otherwise).  A crash mid-transaction therefore leaves nothing of it
+  in the log.
+* Every frame is length-prefixed and CRC-checked::
+
+      <I payload_len> <I crc32(payload)> <payload>
+      payload = <B op> <Q txn_id> <op-specific body>
+
+  The transaction id doubles as the commit LSN — ids are drawn at commit
+  time, so log order, commit order, and id order coincide.
+* A checkpoint folds the log into the snapshot format: the whole database
+  is serialized into ``data.ckpt`` (a container embedding the ordinary
+  snapshot, written to a temp file then ``os.replace``d), and the log is reset to an
+  empty one whose header carries the checkpoint's LSN.  Recovery skips any
+  logged transaction with ``lsn <= checkpoint lsn`` — the guard that makes
+  a crash between the checkpoint rename and the log reset harmless.
+* Recovery scans the log, stops at the first torn or CRC-bad frame,
+  replays committed transactions in order, truncates the torn/uncommitted
+  suffix, then rebuilds derived state (synopses via the replayed inserts,
+  planner statistics by re-running ``ANALYZE`` for analyzed tables).
+
+Undo is in-memory only (``ROLLBACK`` / statement failure): each hook
+stashes a precise undo entry — including copies of the history-store
+entries a ``DELETE`` phantomises — so an aborted transaction leaves state
+indistinguishable from one that never ran.
+
+Every OS-visible step calls into :mod:`repro.engine.faults`, which is how
+the crash-matrix suite in ``tests/fault/`` exercises each window.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.history import AncestorRef, HistoryStore, _Entry
+from ..errors import TransactionError, WalError
+from . import faults
+from .snapshot import decode_schema, encode_schema, read_snapshot, write_snapshot
+from .storage.serialize import decode_tuple, encode_tuple
+
+__all__ = [
+    "WriteAheadLog",
+    "TransactionManager",
+    "Record",
+    "open_durable",
+    "write_checkpoint",
+    "scan_wal",
+]
+
+WAL_MAGIC = b"RWAL"
+WAL_VERSION = 1
+CKPT_MAGIC = b"RPCK"
+CKPT_VERSION = 1
+
+#: sanity bound on a frame payload; anything larger is treated as torn junk
+_MAX_FRAME = 1 << 31
+
+# -- record ops --------------------------------------------------------------
+
+OP_COMMIT = 2
+OP_CREATE_TABLE = 3
+OP_DROP_TABLE = 4
+OP_CREATE_INDEX = 5
+OP_INSERT = 6
+OP_DELETE = 7
+OP_ANALYZE = 8
+
+#: INSERT flag bits
+_F_BASE = 1      # a base-tuple insert (pdfs register as fresh ancestors)
+_F_ACQUIRE = 2   # a derived insert that acquired its ancestor references
+
+
+# -- body encoding helpers ---------------------------------------------------
+
+
+def _b_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def _r_str(buf: bytes, off: int) -> Tuple[str, int]:
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    return buf[off : off + n].decode("utf-8"), off + n
+
+
+def _b_bytes(data: bytes) -> bytes:
+    return struct.pack("<Q", len(data)) + data
+
+
+def _r_bytes(buf: bytes, off: int) -> Tuple[bytes, int]:
+    (n,) = struct.unpack_from("<Q", buf, off)
+    off += 8
+    return buf[off : off + n], off + n
+
+
+@dataclass
+class Record:
+    """One decoded WAL record (fields are op-specific; unused ones default)."""
+
+    op: int
+    txn_id: int
+    name: str = ""          # table name, or the ANALYZE target ("" = all)
+    payload: bytes = b""    # encoded schema (CREATE_TABLE) / tuple (INSERT)
+    flags: int = 0
+    tuple_id: int = 0
+    kind: str = ""          # index kind: btree | pti | spatial
+    columns: Tuple[str, ...] = ()
+    cell_size: float = 0.0
+
+
+def decode_record(payload: bytes) -> Record:
+    """Decode one frame payload into a :class:`Record`."""
+    op, txn_id = struct.unpack_from("<BQ", payload, 0)
+    off = 9
+    if op == OP_COMMIT:
+        return Record(op, txn_id)
+    if op in (OP_DROP_TABLE, OP_ANALYZE):
+        name, off = _r_str(payload, off)
+        return Record(op, txn_id, name=name)
+    if op == OP_CREATE_TABLE:
+        name, off = _r_str(payload, off)
+        schema, off = _r_bytes(payload, off)
+        return Record(op, txn_id, name=name, payload=schema)
+    if op == OP_CREATE_INDEX:
+        name, off = _r_str(payload, off)
+        kind, off = _r_str(payload, off)
+        (n_cols,) = struct.unpack_from("<H", payload, off)
+        off += 2
+        columns = []
+        for _ in range(n_cols):
+            col, off = _r_str(payload, off)
+            columns.append(col)
+        (cell_size,) = struct.unpack_from("<d", payload, off)
+        return Record(
+            op, txn_id, name=name, kind=kind, columns=tuple(columns),
+            cell_size=cell_size,
+        )
+    if op == OP_INSERT:
+        name, off = _r_str(payload, off)
+        (flags,) = struct.unpack_from("<B", payload, off)
+        off += 1
+        raw, off = _r_bytes(payload, off)
+        return Record(op, txn_id, name=name, flags=flags, payload=raw)
+    if op == OP_DELETE:
+        name, off = _r_str(payload, off)
+        (tuple_id,) = struct.unpack_from("<q", payload, off)
+        return Record(op, txn_id, name=name, tuple_id=tuple_id)
+    raise WalError(f"unknown WAL record op {op}")
+
+
+def _frame(payload: bytes) -> bytes:
+    return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+
+
+# -- the log file ------------------------------------------------------------
+
+
+def _wal_header(base_lsn: int) -> bytes:
+    return WAL_MAGIC + struct.pack("<IQ", WAL_VERSION, base_lsn)
+
+
+_WAL_HEADER_SIZE = 16
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed redo log over one file."""
+
+    def __init__(self, path: str, base_lsn: int = 0, group_commit: int = 1):
+        self.path = path
+        self.base_lsn = base_lsn
+        self.group_commit = max(1, int(group_commit))
+        #: the next transaction id / LSN to hand out (recovery advances it)
+        self.next_lsn = base_lsn + 1
+        self._f = None
+        self._pending_sync = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, base_lsn: int = 0, group_commit: int = 1
+    ) -> "WriteAheadLog":
+        """Create a fresh (empty) log file with a durable header."""
+        with open(path, "wb") as f:
+            f.write(_wal_header(base_lsn))
+            f.flush()
+            os.fsync(f.fileno())
+        return cls(path, base_lsn=base_lsn, group_commit=group_commit)
+
+    def open_append(self) -> None:
+        # Unbuffered on purpose: a write either reaches the OS or raises.
+        # A Python-level buffer would survive a simulated crash and could
+        # be flushed behind recovery's back when the object is collected.
+        self._f = open(self.path, "ab", buffering=0)
+
+    def close(self) -> None:
+        if self._f is not None:
+            self.sync()
+            self._f.close()
+            self._f = None
+
+    def discard(self) -> None:
+        """Drop the append handle without syncing (simulated process death)."""
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    # -- commits ------------------------------------------------------------
+
+    def commit_txn(self, ops: List[Tuple[int, bytes]]) -> int:
+        """Append one committed transaction and return its LSN.
+
+        ``ops`` are ``(op, body)`` pairs buffered by the transaction
+        manager; the whole transaction — op frames plus the trailing commit
+        frame — is written as a single contiguous append so a torn write
+        can only ever truncate it, never interleave it.
+        """
+        if self._f is None:
+            raise WalError("write-ahead log is not open for appending")
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        parts = [_frame(struct.pack("<BQ", op, lsn) + body) for op, body in ops]
+        parts.append(_frame(struct.pack("<BQ", OP_COMMIT, lsn)))
+        buf = b"".join(parts)
+        faults.reach("wal.append.before")
+        faults.torn_write("wal.append.torn", self._f, buf)
+        faults.reach("wal.append.after")
+        self._f.flush()
+        self._pending_sync += 1
+        if self._pending_sync >= self.group_commit:
+            self.sync()
+        return lsn
+
+    def sync(self) -> None:
+        """fsync any commits still inside the group-commit window."""
+        if self._f is None or self._pending_sync == 0:
+            return
+        faults.reach("wal.fsync.before")
+        os.fsync(self._f.fileno())
+        faults.reach("wal.fsync.after")
+        self._pending_sync = 0
+
+    # -- checkpoint reset ---------------------------------------------------
+
+    def reset(self, base_lsn: int) -> None:
+        """Replace the log with an empty one starting at ``base_lsn``.
+
+        Written temp-then-rename: a crash leaves either the old log (whose
+        transactions the checkpoint LSN guard will skip) or the new one.
+        """
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+        tmp = self.path + ".new"
+        with open(tmp, "wb") as f:
+            f.write(_wal_header(base_lsn))
+            f.flush()
+            os.fsync(f.fileno())
+        faults.reach("wal.reset.before")
+        os.replace(tmp, self.path)
+        faults.reach("wal.reset.after")
+        self.base_lsn = base_lsn
+        self.next_lsn = max(self.next_lsn, base_lsn + 1)
+        self._pending_sync = 0
+        self.open_append()
+
+
+def scan_wal(path: str) -> Tuple[int, List[Tuple[int, List[Record]]], int]:
+    """Scan a log file -> (header base_lsn, committed txns, good byte end).
+
+    Committed transactions come back in commit order as ``(lsn, records)``.
+    Scanning stops at the first torn or CRC-bad frame; frames after the
+    last commit boundary (a transaction whose commit frame never made it)
+    are uncommitted and ignored.  ``good end`` is the file offset of the
+    last committed boundary — the caller truncates the file there.
+    """
+    with open(path, "rb") as f:
+        header = f.read(_WAL_HEADER_SIZE)
+        if len(header) < _WAL_HEADER_SIZE or header[:4] != WAL_MAGIC:
+            raise WalError(f"{path!r} is not a repro write-ahead log")
+        version, base_lsn = struct.unpack_from("<IQ", header, 4)
+        if version != WAL_VERSION:
+            raise WalError(f"WAL version {version} != supported {WAL_VERSION}")
+        offset = _WAL_HEADER_SIZE
+        good_end = offset
+        committed: List[Tuple[int, List[Record]]] = []
+        pending: Dict[int, List[Record]] = {}
+        while True:
+            head = f.read(8)
+            if len(head) < 8:
+                break
+            length, crc = struct.unpack("<II", head)
+            if length > _MAX_FRAME:
+                break
+            payload = f.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break
+            offset += 8 + length
+            record = decode_record(payload)
+            if record.op == OP_COMMIT:
+                committed.append((record.txn_id, pending.pop(record.txn_id, [])))
+                good_end = offset
+            else:
+                pending.setdefault(record.txn_id, []).append(record)
+    return base_lsn, committed, good_end
+
+
+# -- undo entries ------------------------------------------------------------
+
+
+@dataclass
+class _UndoInsert:
+    table: object
+    rid: object
+    t: object
+    base: bool
+    acquired: bool
+
+
+@dataclass
+class _UndoDelete:
+    table: object
+    raw: bytes
+    t: object
+    entries: Dict[AncestorRef, Optional[_Entry]]
+
+
+@dataclass
+class _UndoCreateTable:
+    name: str
+
+
+@dataclass
+class _UndoDropTable:
+    name: str
+    table: object
+    entries: Dict[AncestorRef, Optional[_Entry]]
+
+
+@dataclass
+class _UndoCreateIndex:
+    table: object
+    kind: str
+    key: object
+
+
+@dataclass
+class _UndoAnalyze:
+    prev: Dict[str, object] = field(default_factory=dict)
+
+
+def _capture_entries(
+    store: HistoryStore, t
+) -> Dict[AncestorRef, Optional[_Entry]]:
+    """Copies of every history entry a delete of ``t`` can touch.
+
+    That is the refs its lineage links point at (``release`` may drop a
+    drained phantom) plus every ref owned by its tuple id
+    (``delete_base_tuple`` phantomises or removes them).
+    """
+    refs = set(store.refs_of_tuple(t.tuple_id))
+    for lin in t.lineage.values():
+        for link in lin:
+            refs.add(link.ref)
+    out: Dict[AncestorRef, Optional[_Entry]] = {}
+    for ref in refs:
+        entry = store._entries.get(ref)
+        out[ref] = (
+            None
+            if entry is None
+            else _Entry(pdf=entry.pdf, refcount=entry.refcount, alive=entry.alive)
+        )
+    return out
+
+
+def _restore_entries(
+    store: HistoryStore, entries: Dict[AncestorRef, Optional[_Entry]]
+) -> None:
+    for ref, entry in entries.items():
+        if entry is None:
+            if store._entries.pop(ref, None) is not None:
+                store._index_discard(ref)
+        else:
+            store._entries[ref] = _Entry(
+                pdf=entry.pdf, refcount=entry.refcount, alive=entry.alive
+            )
+            store._index_add(ref)
+
+
+# -- the transaction manager -------------------------------------------------
+
+
+class TransactionManager:
+    """Per-catalog transaction state: redo buffering and precise undo.
+
+    The engine's mutation paths call the ``on_*`` hooks; outside an active
+    transaction (direct ``Table`` API use) and during recovery replay they
+    are no-ops, so non-transactional code paths behave exactly as before.
+    """
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        #: attached by a durable Database; None keeps transactions in-memory
+        self.wal: Optional[WriteAheadLog] = None
+        self.active = False
+        self.replaying = False
+        self._ops: List[Tuple[int, bytes]] = []
+        self._undo: List[object] = []
+        self._saved_next_tuple_id = 0
+
+    def __getstate__(self):
+        # Worker processes of the parallel executor only read; the log's
+        # file handle never crosses a process boundary.
+        state = self.__dict__.copy()
+        state["wal"] = None
+        return state
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self) -> None:
+        if self.active:
+            raise TransactionError("a transaction is already in progress")
+        self.active = True
+        self._ops = []
+        self._undo = []
+        self._saved_next_tuple_id = self.catalog.store._next_tuple_id
+
+    def commit(self) -> Optional[int]:
+        """Make the transaction durable; returns its LSN (None if no WAL).
+
+        If the log append fails with an ordinary exception the transaction
+        stays active so the caller can still ``abort()`` it; an
+        :class:`~repro.engine.faults.InjectedCrash` propagates untouched —
+        nothing survives a real power cut.
+        """
+        if not self.active:
+            raise TransactionError("no transaction in progress")
+        lsn = None
+        if self.wal is not None and self._ops:
+            lsn = self.wal.commit_txn(self._ops)
+        self.active = False
+        self._ops = []
+        self._undo = []
+        return lsn
+
+    def abort(self) -> None:
+        if not self.active:
+            raise TransactionError("no transaction in progress")
+        for entry in reversed(self._undo):
+            self._apply_undo(entry)
+        self.catalog.store._next_tuple_id = self._saved_next_tuple_id
+        self.active = False
+        self._ops = []
+        self._undo = []
+
+    def _recording(self) -> bool:
+        return self.active and not self.replaying
+
+    # -- mutation hooks ------------------------------------------------------
+
+    def on_insert(self, table, rid, t, base: bool, acquired: bool = True) -> None:
+        if not self._recording():
+            return
+        flags = (_F_BASE if base else 0) | (_F_ACQUIRE if acquired else 0)
+        body = (
+            _b_str(table.name)
+            + struct.pack("<B", flags)
+            + _b_bytes(encode_tuple(t, store_lineage=True))
+        )
+        self._ops.append((OP_INSERT, body))
+        self._undo.append(_UndoInsert(table, rid, t, base, acquired))
+
+    def on_delete(self, table, rid, t) -> None:
+        """Called *before* the delete mutates anything."""
+        if not self._recording():
+            return
+        raw = table.heap.read(rid)
+        entries = _capture_entries(self.catalog.store, t)
+        body = _b_str(table.name) + struct.pack("<q", t.tuple_id)
+        self._ops.append((OP_DELETE, body))
+        self._undo.append(_UndoDelete(table, raw, t, entries))
+
+    def on_create_table(self, table) -> None:
+        if not self._recording():
+            return
+        body = _b_str(table.name) + _b_bytes(encode_schema(table.schema))
+        self._ops.append((OP_CREATE_TABLE, body))
+        self._undo.append(_UndoCreateTable(table.name))
+
+    def on_drop_table(self, table) -> None:
+        """Called *before* the catalog removes the table."""
+        if not self._recording():
+            return
+        entries: Dict[AncestorRef, Optional[_Entry]] = {}
+        for _rid, t in table.scan():
+            for ref, entry in _capture_entries(self.catalog.store, t).items():
+                entries.setdefault(ref, entry)
+        self._ops.append((OP_DROP_TABLE, _b_str(table.name)))
+        self._undo.append(_UndoDropTable(table.name, table, entries))
+
+    def on_create_index(
+        self, table, kind: str, attrs: Tuple[str, ...], cell_size: float = 0.0
+    ) -> None:
+        if not self._recording():
+            return
+        body = _b_str(table.name) + _b_str(kind)
+        body += struct.pack("<H", len(attrs))
+        for attr in attrs:
+            body += _b_str(attr)
+        body += struct.pack("<d", cell_size)
+        self._ops.append((OP_CREATE_INDEX, body))
+        key = attrs if kind == "spatial" else attrs[0]
+        self._undo.append(_UndoCreateIndex(table, kind, key))
+
+    def on_analyze(self, name: str, prev: Dict[str, object]) -> None:
+        """``name`` is the analyzed table, or ``""`` for all tables."""
+        if not self._recording():
+            return
+        self._ops.append((OP_ANALYZE, _b_str(name)))
+        self._undo.append(_UndoAnalyze(prev=dict(prev)))
+
+    # -- undo ---------------------------------------------------------------
+
+    def _apply_undo(self, entry) -> None:
+        store = self.catalog.store
+        if isinstance(entry, _UndoInsert):
+            table, rid, t = entry.table, entry.rid, entry.t
+            table._index_delete(rid, t)
+            syn = table.synopses.get(rid.page_id)
+            if syn is not None:
+                syn.remove()
+            table.heap.delete(rid)
+            if entry.base:
+                for lin in t.lineage.values():
+                    if lin:
+                        store.release(lin)
+                for pdf in t.pdfs.values():
+                    if pdf is None:
+                        continue
+                    ref = AncestorRef(t.tuple_id, frozenset(pdf.attrs))
+                    if store._entries.pop(ref, None) is not None:
+                        store._index_discard(ref)
+            elif entry.acquired:
+                for lin in t.lineage.values():
+                    if lin:
+                        store.release(lin)
+        elif isinstance(entry, _UndoDelete):
+            _restore_entries(store, entry.entries)
+            table, t = entry.table, entry.t
+            rid = table.heap.insert(entry.raw)
+            table._synopsis_insert(rid, t)
+            table._index_insert(rid, t)
+        elif isinstance(entry, _UndoCreateTable):
+            self.catalog.tables.pop(entry.name.lower(), None)
+        elif isinstance(entry, _UndoDropTable):
+            self.catalog.tables[entry.name.lower()] = entry.table
+            _restore_entries(store, entry.entries)
+        elif isinstance(entry, _UndoCreateIndex):
+            if entry.kind == "pti":
+                entry.table.ptis.pop(entry.key, None)
+            elif entry.kind == "spatial":
+                entry.table.spatials.pop(entry.key, None)
+            else:
+                entry.table.btrees.pop(entry.key, None)
+        elif isinstance(entry, _UndoAnalyze):
+            for key, stats in entry.prev.items():
+                table = self.catalog.tables.get(key)
+                if table is not None:
+                    table.statistics = stats
+
+
+# -- recovery replay ---------------------------------------------------------
+
+
+class _Replayer:
+    """Applies committed redo records to a catalog during recovery."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self.max_tuple_id = 0
+        #: (table key, tuple id) -> current RID, for replaying deletes
+        self.rid_of: Dict[Tuple[str, int], object] = {}
+        for key, table in catalog.tables.items():
+            for rid, t in table.scan():
+                self.rid_of[(key, t.tuple_id)] = rid
+                self.max_tuple_id = max(self.max_tuple_id, t.tuple_id)
+
+    def apply(self, record: Record) -> None:
+        catalog = self.catalog
+        store = catalog.store
+        if record.op == OP_CREATE_TABLE:
+            catalog.create_table(record.name, decode_schema(record.payload))
+        elif record.op == OP_DROP_TABLE:
+            key = record.name.lower()
+            catalog.drop_table(record.name)
+            self.rid_of = {
+                k: v for k, v in self.rid_of.items() if k[0] != key
+            }
+        elif record.op == OP_CREATE_INDEX:
+            table = catalog.get_table(record.name)
+            if record.kind == "pti":
+                table.create_pti_index(record.columns[0])
+            elif record.kind == "spatial":
+                table.create_spatial_index(
+                    record.columns, cell_size=record.cell_size
+                )
+            else:
+                table.create_btree_index(record.columns[0])
+        elif record.op == OP_INSERT:
+            table = catalog.get_table(record.name)
+            t, _ = decode_tuple(record.payload)
+            if record.flags & _F_BASE:
+                for pdf in t.pdfs.values():
+                    if pdf is not None:
+                        store.register_base(t.tuple_id, pdf)
+                for lin in t.lineage.values():
+                    if lin:
+                        store.acquire(lin)
+            elif record.flags & _F_ACQUIRE:
+                for lin in t.lineage.values():
+                    if lin:
+                        store.acquire(lin)
+            rid = table.heap.insert(
+                encode_tuple(t, store_lineage=table.store_lineage)
+            )
+            table._synopsis_insert(rid, t)
+            table._index_insert(rid, t)
+            self.rid_of[(record.name.lower(), t.tuple_id)] = rid
+            self.max_tuple_id = max(self.max_tuple_id, t.tuple_id)
+        elif record.op == OP_DELETE:
+            key = (record.name.lower(), record.tuple_id)
+            rid = self.rid_of.pop(key, None)
+            if rid is None:
+                raise WalError(
+                    f"DELETE replay: tuple {record.tuple_id} not found in "
+                    f"table {record.name!r}"
+                )
+            catalog.get_table(record.name).delete(rid)
+        elif record.op == OP_ANALYZE:
+            from .stats import analyze_table
+
+            names = (
+                [record.name]
+                if record.name
+                else sorted(catalog.tables)
+            )
+            for name in names:
+                analyze_table(catalog.get_table(name))
+        else:
+            raise WalError(f"cannot replay WAL record op {record.op}")
+
+
+# -- checkpoints -------------------------------------------------------------
+
+
+def write_checkpoint(db) -> None:
+    """Fold the current state into ``data.ckpt`` and reset the log.
+
+    Crash-safe at every step: the container is written to a temp file and
+    fsynced before the atomic rename, and recovery's LSN guard makes the
+    window between the rename and the log reset idempotent.
+    """
+    wal = db._wal
+    if wal is None or db.path is None:
+        raise WalError("checkpoint requires a durable (path-backed) database")
+    faults.reach("checkpoint.begin")
+    wal.sync()  # pending group commits become durable before folding
+    last_lsn = wal.next_lsn - 1
+    buf = io.BytesIO()
+    buf.write(CKPT_MAGIC)
+    buf.write(struct.pack("<IQ", CKPT_VERSION, last_lsn))
+    analyzed = sorted(
+        table.name
+        for table in db.catalog.tables.values()
+        if table.statistics is not None
+    )
+    buf.write(struct.pack("<I", len(analyzed)))
+    for name in analyzed:
+        buf.write(_b_str(name))
+    write_snapshot(db, buf)
+    ckpt_path = os.path.join(db.path, "data.ckpt")
+    tmp = ckpt_path + ".tmp"
+    with open(tmp, "wb") as f:
+        faults.torn_write("checkpoint.write.torn", f, buf.getvalue())
+        f.flush()
+        os.fsync(f.fileno())
+    faults.reach("checkpoint.written")
+    os.replace(tmp, ckpt_path)
+    faults.reach("checkpoint.rename.after")
+    wal.reset(last_lsn)
+
+
+def _read_checkpoint(path: str, buffer_capacity: int, config):
+    """Load ``data.ckpt`` -> (database, last_lsn, analyzed table names)."""
+    with open(path, "rb") as f:
+        if f.read(4) != CKPT_MAGIC:
+            raise WalError(f"{path!r} is not a repro checkpoint")
+        version, last_lsn = struct.unpack("<IQ", f.read(12))
+        if version != CKPT_VERSION:
+            raise WalError(
+                f"checkpoint version {version} != supported {CKPT_VERSION}"
+            )
+        (n_analyzed,) = struct.unpack("<I", f.read(4))
+        analyzed = []
+        for _ in range(n_analyzed):
+            (n,) = struct.unpack("<I", f.read(4))
+            analyzed.append(f.read(n).decode("utf-8"))
+        db = read_snapshot(f, buffer_capacity=buffer_capacity, config=config)
+    return db, last_lsn, analyzed
+
+
+# -- opening a durable database ----------------------------------------------
+
+
+def open_durable(
+    path: str,
+    buffer_capacity: int = 256,
+    config=None,
+    store_lineage: bool = True,
+    group_commit: int = 1,
+):
+    """Open (or create) a durable database directory; runs recovery.
+
+    Returns ``(database, wal)`` — the database holds the recovered state
+    and the log is open for appending, positioned after the last committed
+    transaction (any torn or uncommitted suffix has been truncated away).
+    """
+    from .database import Database
+    from .stats import analyze_table
+    from .storage.disk import MemoryDisk
+
+    os.makedirs(path, exist_ok=True)
+    ckpt_path = os.path.join(path, "data.ckpt")
+    wal_path = os.path.join(path, "wal.log")
+    # Leftovers of a crashed checkpoint / log reset are garbage by design:
+    # both protocols only ever install files via os.replace.
+    for stale in (ckpt_path + ".tmp", wal_path + ".new"):
+        if os.path.exists(stale):
+            os.remove(stale)
+
+    base_lsn = 0
+    analyzed: List[str] = []
+    if os.path.exists(ckpt_path):
+        db, base_lsn, analyzed = _read_checkpoint(
+            ckpt_path, buffer_capacity, config
+        )
+        # The snapshot format does not record the lineage flag; a durable
+        # database reapplies the caller's setting uniformly on reopen.
+        db.catalog.store_lineage = store_lineage
+        for table in db.catalog.tables.values():
+            table.store_lineage = store_lineage
+    else:
+        from ..core.model import DEFAULT_CONFIG
+
+        db = Database(
+            disk=MemoryDisk(),
+            buffer_capacity=buffer_capacity,
+            config=config or DEFAULT_CONFIG,
+            store_lineage=store_lineage,
+        )
+    catalog = db.catalog
+
+    max_lsn = base_lsn
+    if os.path.exists(wal_path):
+        wal_base, committed, good_end = scan_wal(wal_path)
+        if good_end < os.path.getsize(wal_path):
+            with open(wal_path, "r+b") as f:
+                f.truncate(good_end)
+        # Planner statistics from the checkpoint are recomputed over the
+        # checkpoint state before replay, so ANALYZE records replayed later
+        # observe the same data sequence the live run did.
+        for name in analyzed:
+            if catalog.has_table(name):
+                analyze_table(catalog.get_table(name))
+        replayer = _Replayer(catalog)
+        catalog.txn.replaying = True
+        try:
+            for lsn, records in committed:
+                max_lsn = max(max_lsn, lsn)
+                if lsn <= base_lsn:
+                    continue  # already folded into the checkpoint
+                for record in records:
+                    replayer.apply(record)
+        finally:
+            catalog.txn.replaying = False
+        catalog.store._next_tuple_id = max(
+            catalog.store._next_tuple_id, replayer.max_tuple_id
+        )
+        wal = WriteAheadLog(
+            wal_path, base_lsn=wal_base, group_commit=group_commit
+        )
+    else:
+        for name in analyzed:
+            if catalog.has_table(name):
+                analyze_table(catalog.get_table(name))
+        wal = WriteAheadLog.create(
+            wal_path, base_lsn=base_lsn, group_commit=group_commit
+        )
+    wal.next_lsn = max_lsn + 1
+    wal.open_append()
+    return db, wal

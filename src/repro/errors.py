@@ -56,6 +56,14 @@ class CatalogError(EngineError):
     """A table or index name is unknown or already exists."""
 
 
+class TransactionError(EngineError):
+    """BEGIN/COMMIT/ROLLBACK used outside a valid transaction state."""
+
+
+class WalError(EngineError):
+    """The write-ahead log or a checkpoint file is malformed."""
+
+
 class SqlError(EngineError):
     """Base class for SQL front-end errors."""
 

@@ -1,0 +1,4 @@
+-- Seed schema: certain + uncertain columns, a joint dependency set.
+CREATE TABLE readings (rid INT, site TEXT, value REAL UNCERTAIN);
+CREATE TABLE objects (oid INT, x REAL, y REAL, DEPENDENCY (x, y));
+CREATE TABLE plain (k INT, label TEXT);

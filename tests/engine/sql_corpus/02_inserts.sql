@@ -1,0 +1,7 @@
+-- One of every pdf constructor the dialect accepts.
+INSERT INTO readings VALUES (1, 'a', GAUSSIAN(20, 5));
+INSERT INTO readings VALUES (2, 'a', UNIFORM(0, 10)), (3, 'b', DISCRETE(1:0.4, 2:0.6));
+INSERT INTO readings VALUES (4, 'b', HISTOGRAM(0, 10, 20 ; 0.4, 0.6));
+INSERT INTO objects VALUES (10, JOINT_GAUSSIAN([0, 0], [[1, 0.5], [0.5, 1]]));
+INSERT INTO objects VALUES (11, JOINT_DISCRETE((4, 5): 0.9, (2, 3): 0.1));
+INSERT INTO plain VALUES (1, 'certain');

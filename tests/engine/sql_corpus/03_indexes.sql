@@ -1,0 +1,3 @@
+CREATE INDEX ON readings (rid);
+CREATE PROB INDEX ON readings (value);
+CREATE SPATIAL INDEX ON objects (x, y);

@@ -1,0 +1,4 @@
+SELECT rid, value FROM readings WHERE value > 18;
+SELECT rid FROM readings WHERE value > 18 AND value < 22;
+SELECT rid, site FROM readings WHERE site = 'a';
+SELECT oid FROM objects WHERE x > 0 AND y > 0;

@@ -1,0 +1,4 @@
+SELECT rid FROM readings WHERE PROB(value > 15) >= 0.5;
+SELECT rid FROM readings WHERE PROB(value > 18 AND value < 22) > 0.3;
+SELECT rid FROM readings WHERE PROB(*) >= 1;
+SELECT rid FROM readings WHERE value > 18 ORDER BY PROB(*) DESC LIMIT 2;

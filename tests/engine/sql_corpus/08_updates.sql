@@ -1,0 +1,2 @@
+UPDATE readings SET value = GAUSSIAN(21, 1) WHERE rid = 1;
+DELETE FROM readings WHERE rid = 5;

@@ -1,0 +1,2 @@
+CREATE TABLE hot AS SELECT rid, value FROM readings WHERE PROB(value > 15) >= 0.5;
+SELECT COUNT(*) FROM hot WHERE PROB(*) >= 0.999;

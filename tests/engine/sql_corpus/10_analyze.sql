@@ -1,0 +1,2 @@
+ANALYZE readings;
+ANALYZE objects;

@@ -1,0 +1,2 @@
+EXPLAIN SELECT rid FROM readings WHERE PROB(value > 18 AND value < 22) >= 0.5;
+EXPLAIN SELECT rid FROM readings ORDER BY PROB(*) DESC;

@@ -96,3 +96,22 @@ class TestShell:
     def test_blank_lines_ignored(self):
         output = run_shell("\n\nCREATE TABLE t (a INT);")
         assert "CREATE TABLE" in output
+
+    def test_open_durable_directory_and_checkpoint(self, tmp_path):
+        path = str(tmp_path / "durable_db")
+        output = run_shell(
+            f".open {path}\n"
+            "CREATE TABLE t (a INT, v REAL UNCERTAIN);\n"
+            "INSERT INTO t VALUES (1, GAUSSIAN(0, 1));\n"
+            "BEGIN;\n"
+            "INSERT INTO t VALUES (2, UNIFORM(0, 1));\n"
+            "COMMIT;\n"
+            ".checkpoint\n"
+        )
+        assert "opened" in output and "checkpoint written" in output
+        # the session recovers from the directory
+        output2 = run_shell(f".open {path}\nSELECT a FROM t;")
+        assert "(2 rows)" in output2
+
+    def test_checkpoint_in_memory_reports_error(self):
+        assert "error" in run_shell(".checkpoint")

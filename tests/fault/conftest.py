@@ -1,0 +1,24 @@
+"""Fixtures for the crash-safety suite.
+
+Every test starts and ends with the process-global fault injector
+disarmed, and the active ``REPRO_FAULT_SEED`` is echoed once per session
+so a failing matrix cell can be replayed bit-for-bit by exporting the
+same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import faults
+
+
+def pytest_report_header(config):
+    return f"REPRO_FAULT_SEED={faults.fault_seed()}"
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    faults.disarm_all()
+    yield
+    faults.disarm_all()

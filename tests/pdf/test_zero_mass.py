@@ -1,0 +1,250 @@
+"""Zero- and near-zero-mass partial pdfs through floors, products, and
+PROB thresholds.
+
+A partial pdf with (almost) no remaining mass is the boundary case of the
+paper's partial-pdf semantics: the tuple almost certainly does not exist.
+These tests pin down that floors, the history-aware product, the PROB
+threshold operator, and the vectorized kernels all agree — no NaNs, no
+negative masses, no spurious survivors — on BOTH the scalar and the batch
+(kernel) evaluation paths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryStore
+from repro.core.model import DEFAULT_CONFIG
+from repro.core.operations import product
+from repro.core.threshold import batch_probability_of, probability_of
+from repro.engine.database import Database
+from repro.pdf import (
+    BoxRegion,
+    DiscretePdf,
+    GaussianPdf,
+    IntervalSet,
+    UniformPdf,
+)
+from repro.pdf.kernels import batch_interval_probs, batch_mass
+
+ZERO_FLOORS = [
+    # (base pdf, allowed set that removes every last bit of mass)
+    (UniformPdf(0, 10), IntervalSet.greater_than(20)),
+    (UniformPdf(0, 10), IntervalSet.less_than(-5)),
+    (GaussianPdf(0, 1), IntervalSet.less_than(-600)),  # cdf underflows to 0.0
+    (DiscretePdf({1: 0.5, 2: 0.5}), IntervalSet.between(3, 4)),
+]
+
+NEAR_ZERO_FLOORS = [
+    (GaussianPdf(0, 1), IntervalSet.less_than(-30)),
+    (GaussianPdf(100, 0.1), IntervalSet.greater_than(104)),
+    (UniformPdf(0, 1), IntervalSet.between(0, 1e-300)),
+    (DiscretePdf({1: 1e-12, 2: 1.0 - 1e-12}), IntervalSet.point(1)),
+]
+
+
+def _floor(base, allowed):
+    return base.restrict(BoxRegion({base.attr: allowed}))
+
+
+class TestZeroMassFloors:
+    @pytest.mark.parametrize("base,allowed", ZERO_FLOORS)
+    def test_mass_is_exactly_zero(self, base, allowed):
+        assert _floor(base, allowed).mass() == 0.0
+
+    @pytest.mark.parametrize("base,allowed", ZERO_FLOORS)
+    def test_density_zero_everywhere_probed(self, base, allowed):
+        f = _floor(base, allowed)
+        xs = np.linspace(-50, 50, 41)
+        assert np.all(f.density({f.attr: xs}) == 0.0)
+
+    @pytest.mark.parametrize("base,allowed", ZERO_FLOORS)
+    def test_further_restriction_stays_zero(self, base, allowed):
+        f = _floor(base, allowed)
+        again = f.restrict(BoxRegion({f.attr: IntervalSet.less_than(1000)}))
+        assert again.mass() == 0.0
+
+    @pytest.mark.parametrize("base,allowed", ZERO_FLOORS)
+    def test_cdf_is_zero_and_finite(self, base, allowed):
+        f = _floor(base, allowed)
+        vals = np.atleast_1d(f.cdf(np.array([-1e9, 0.0, 1e9])))
+        assert np.all(vals == 0.0)
+        assert np.all(np.isfinite(vals))
+
+
+class TestNearZeroMassFloors:
+    @pytest.mark.parametrize("base,allowed", NEAR_ZERO_FLOORS)
+    def test_mass_tiny_but_legal(self, base, allowed):
+        m = _floor(base, allowed).mass()
+        assert 0.0 <= m < 1e-6
+        assert math.isfinite(m)
+
+    @pytest.mark.parametrize("base,allowed", NEAR_ZERO_FLOORS)
+    def test_prob_interval_never_exceeds_mass(self, base, allowed):
+        f = _floor(base, allowed)
+        m = f.mass()
+        for probe in (IntervalSet.full(), IntervalSet.less_than(0), IntervalSet.greater_than(0)):
+            p = f.prob_interval(probe)
+            assert 0.0 <= p <= m + 1e-18
+
+
+class TestKernelScalarIdentity:
+    """The batch kernels must be bit-identical to the scalar paths, down
+    into the zero-mass corner."""
+
+    def test_batch_mass_matches_scalar(self):
+        floors = [_floor(b, a) for b, a in ZERO_FLOORS + NEAR_ZERO_FLOORS]
+        scalar = np.array([f.mass() for f in floors])
+        batch = batch_mass(floors)
+        assert np.array_equal(batch, scalar)  # bitwise, incl. signed zeros
+
+    def test_batch_interval_probs_matches_scalar(self):
+        cases = ZERO_FLOORS + NEAR_ZERO_FLOORS
+        bases = [b for b, _ in cases]
+        alloweds = [a for _, a in cases]
+        scalar = np.array(
+            [float(b.prob_interval(a)) for b, a in zip(bases, alloweds)]
+        )
+        batch = batch_interval_probs(bases, alloweds)
+        assert np.array_equal(batch, scalar)
+
+    def test_empty_interval_set_is_zero(self):
+        bases = [GaussianPdf(0, 1), UniformPdf(0, 1)]
+        alloweds = [IntervalSet.empty(), IntervalSet.empty()]
+        batch = batch_interval_probs(bases, alloweds)
+        assert np.array_equal(batch, np.zeros(2))
+        assert all(float(b.prob_interval(IntervalSet.empty())) == 0.0 for b in bases)
+
+
+class TestProductsWithZeroMass:
+    def test_product_with_zero_factor_is_zero(self):
+        store = HistoryStore()
+        zero = _floor(GaussianPdf(0, 1), IntervalSet.less_than(-600)).with_attrs(["a"])
+        live = GaussianPdf(5, 1).with_attrs(["b"])
+        joint, _ = product(
+            [(zero, frozenset()), (live, frozenset())], store, DEFAULT_CONFIG
+        )
+        assert joint.mass() == pytest.approx(0.0, abs=1e-300)
+
+    def test_product_of_near_zeros_underflows_gracefully(self):
+        store = HistoryStore()
+        a = _floor(GaussianPdf(0, 1), IntervalSet.less_than(-30)).with_attrs(["a"])
+        b = _floor(GaussianPdf(0, 1), IntervalSet.greater_than(30)).with_attrs(["b"])
+        joint, _ = product(
+            [(a, frozenset()), (b, frozenset())], store, DEFAULT_CONFIG
+        )
+        m = joint.mass()
+        assert 0.0 <= m < 1e-100
+        assert math.isfinite(m)
+
+
+class TestProbThresholds:
+    """PROB(...) thresholds over zero/near-zero tuples — SQL surface,
+    exercising both the scalar executor and the batched kernel pipeline."""
+
+    @pytest.fixture
+    def db(self):
+        d = Database()
+        d.execute("CREATE TABLE t (rid INT, v REAL UNCERTAIN)")
+        d.execute("INSERT INTO t VALUES (1, GAUSSIAN(0, 1))")
+        d.execute("INSERT INTO t VALUES (2, GAUSSIAN(100, 1))")
+        d.execute("INSERT INTO t VALUES (3, UNIFORM(0, 10))")
+        d.execute("INSERT INTO t VALUES (4, DISCRETE(1:0.000000000001, 2:0.999999999999))")
+        return d
+
+    def test_selection_prunes_zero_mass_tuples(self, db):
+        # v > 500 floors every pdf to (near-)zero mass; all four fall
+        # below ``mass_epsilon`` and are pruned by the selection itself.
+        db.execute("CREATE TABLE dead AS SELECT rid, v FROM t WHERE v > 500")
+        assert db.execute("SELECT rid FROM dead").rowcount == 0
+
+    def test_near_zero_above_epsilon_survives_selection(self, db):
+        # Only GAUSSIAN(100, 1) keeps representable mass above 103
+        # (~1.35e-3, above the 1e-6 epsilon); everything else is pruned.
+        db.execute("CREATE TABLE thin AS SELECT rid, v FROM t WHERE v > 103")
+        rows = db.execute("SELECT rid FROM thin").rows
+        assert {t.certain["rid"] for t in rows} == {2}
+
+    def test_threshold_filters_near_zero_mass(self, db):
+        db.execute("CREATE TABLE thin AS SELECT rid, v FROM t WHERE v > 103")
+        alive = db.execute("SELECT rid FROM thin WHERE PROB(*) > 0").rows
+        assert {t.certain["rid"] for t in alive} == {2}
+        assert db.execute("SELECT rid FROM thin WHERE PROB(*) >= 0.01").rowcount == 0
+        assert db.execute("SELECT rid FROM thin WHERE PROB(*) >= 0.001").rowcount == 1
+        assert db.execute("SELECT rid FROM thin WHERE PROB(*) <= 0.01").rowcount == 1
+
+    def test_selection_never_emits_zero_mass_even_at_epsilon_zero(self):
+        """``mass <= epsilon`` pruning is strict: with epsilon 0, exact
+        zero-mass tuples are still dropped, only positive mass survives."""
+        from dataclasses import replace
+
+        # Synopsis page pruning and lazy-decode support tests are both
+        # calibrated against the *default* epsilon (grid tail mass), so
+        # they go off together with it.
+        d = Database(
+            config=replace(
+                DEFAULT_CONFIG,
+                mass_epsilon=0.0,
+                scan_pruning=False,
+                lazy_decode=False,
+            )
+        )
+        d.execute("CREATE TABLE t (rid INT, v REAL UNCERTAIN)")
+        d.execute("INSERT INTO t VALUES (1, UNIFORM(0, 10))")
+        d.execute("INSERT INTO t VALUES (2, GAUSSIAN(100, 1))")
+        d.execute("CREATE TABLE dead AS SELECT rid, v FROM t WHERE v > 500")
+        assert d.execute("SELECT rid FROM dead").rowcount == 0
+        # Epsilon 0 admits masses the default epsilon would prune.
+        d.execute("CREATE TABLE faint AS SELECT rid, v FROM t WHERE v > 105")
+        rows = d.execute("SELECT rid FROM faint").rows
+        assert {t.certain["rid"] for t in rows} == {2}
+
+    def test_threshold_operator_classifies_exact_zero_mass(self):
+        """A hand-built zero-mass partial pdf (below the SQL surface, so
+        no selection pruning) through ``threshold_select``."""
+        from repro.core.model import Column, DataType, ProbabilisticSchema
+        from repro.core.threshold import threshold_select
+
+        schema = ProbabilisticSchema(
+            [Column("rid", DataType.INT), Column("v", DataType.REAL)], [{"v"}]
+        )
+        from repro.core.model import ProbabilisticRelation
+
+        rel = ProbabilisticRelation(schema)
+        zero = _floor(UniformPdf(0, 10), IntervalSet.greater_than(20))
+        live = GaussianPdf(5, 1)
+        rel.insert({"rid": 1}, {"v": zero})
+        rel.insert({"rid": 2}, {"v": live})
+        kept = threshold_select(rel, None, ">", 0.0)
+        assert [t.certain["rid"] for t in kept.tuples] == [2]
+        dead = threshold_select(rel, None, "<=", 0.0)
+        assert [t.certain["rid"] for t in dead.tuples] == [1]
+        everyone = threshold_select(rel, None, ">=", 0.0)
+        assert len(everyone.tuples) == 2
+
+    def test_batch_probability_matches_scalar(self):
+        """Tuples spanning zero, near-zero, and full mass: the batched
+        existence-probability kernel equals the scalar path exactly."""
+        from repro.core.model import (
+            Column,
+            DataType,
+            ProbabilisticRelation,
+            ProbabilisticSchema,
+        )
+
+        schema = ProbabilisticSchema(
+            [Column("rid", DataType.INT), Column("v", DataType.REAL)], [{"v"}]
+        )
+        rel = ProbabilisticRelation(schema)
+        rel.insert({"rid": 1}, {"v": _floor(UniformPdf(0, 10), IntervalSet.greater_than(20))})
+        rel.insert({"rid": 2}, {"v": _floor(GaussianPdf(0, 1), IntervalSet.less_than(-30))})
+        rel.insert({"rid": 3}, {"v": GaussianPdf(5, 1)})
+        rel.insert({"rid": 4}, {"v": None})
+        scalar = [probability_of(t, rel.store, None, DEFAULT_CONFIG) for t in rel.tuples]
+        batch = batch_probability_of(rel.tuples, rel.store, None, DEFAULT_CONFIG)
+        assert batch == scalar  # exact, element-wise
+        assert batch[0] == 0.0 and 0.0 < batch[1] < 1e-6
+        assert batch[2] == 1.0 and batch[3] == 1.0
