@@ -11,14 +11,17 @@ Run: ``pytest benchmarks/bench_micro_engine.py --benchmark-only -q``
 """
 
 import json
+import os
 import random
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.bench.envinfo import environment_info
 from repro.bench.protocol import pdf_cache_stats
 from repro.core import Column, DataType, ProbabilisticRelation, ProbabilisticSchema
+from repro.core.model import ModelConfig
 from repro.core.operations import PDF_OP_CACHE
 from repro.core.predicates import And, Comparison
 from repro.engine.executor import Filter, RelationScan
@@ -125,8 +128,12 @@ def bench_btree_range_scan(benchmark):
 # Batched execution pipeline: Gaussian range selection, batch-size sweep
 # ---------------------------------------------------------------------------
 
-SWEEP_N = 4000
+SWEEP_N = int(os.environ.get("REPRO_BENCH_ENGINE_N", "4000"))
 BATCH_SIZES = (1, 32, 256, 1024)
+
+#: speedup bar for the columnar path at batch >= 256; relaxed at reduced N
+#: (CI smoke) where fixed per-query overheads dominate the sweep.
+COLUMNAR_BAR = 10.0 if SWEEP_N >= 4000 else 2.0
 
 
 def _gaussian_relation(n=SWEEP_N, seed=7):
@@ -158,47 +165,79 @@ def _best_of(fn, repeats=5):
     return best, out
 
 
-def bench_batch_pipeline_sweep(benchmark, capsys):
-    """Scalar vs batched Gaussian range selection; writes BENCH_engine.json.
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
 
-    The result sets must be bitwise identical across all batch sizes, and
-    batch >= 256 must deliver >= 3x the scalar throughput (the batching
-    acceptance bar — see docs/PERFORMANCE.md).
+
+def bench_batch_pipeline_sweep(benchmark, capsys):
+    """Scalar vs batched vs columnar Gaussian range selection.
+
+    Writes ``BENCH_engine.json``.  For every (batch size, variant) cell the
+    result set must be bitwise identical to the scalar reference.  Batch
+    >= 256 must deliver >= 3x scalar on the legacy batched path, and the
+    columnar struct-of-arrays path must reach ``COLUMNAR_BAR`` (10x at the
+    full ``SWEEP_N``) — the ROADMAP "columnar batch representation" bar.
     """
     rel = _gaussian_relation()
     pred = And([Comparison("temp", ">", 18.0), Comparison("temp", "<", 24.0)])
+    legacy_cfg = ModelConfig(columnar=False)
+    columnar_cfg = ModelConfig(columnar=True)
 
-    def make_plan():
-        return Filter(RelationScan(rel), pred, rel.store)
+    def make_plan(columnar):
+        cfg = columnar_cfg if columnar else legacy_cfg
+        return Filter(RelationScan(rel, columnar=columnar), pred, rel.store, cfg)
 
     def scalar_run():
         PDF_OP_CACHE.reset()  # cold pdf-op cache per run
-        return list(make_plan())
+        return list(make_plan(False))
 
-    def batch_run(size):
+    def batch_run(size, columnar):
         PDF_OP_CACHE.reset()
-        return [t for b in make_plan().batches(size) for t in b.tuples]
+        return [t for b in make_plan(columnar).batches(size) for t in b.tuples]
 
     def run():
-        scalar_t, scalar_rows = _best_of(scalar_run)
+        # Interleave the cold repeats of the scalar baseline and every
+        # (size, variant) cell round-robin, taking the per-cell minimum.
+        # Sequential best-of-N lets a mid-sweep frequency or load shift hit
+        # the baseline and the variants unequally and skew every speedup the
+        # same direction; interleaving spreads drift evenly across cells.
+        cells = [
+            (size, columnar) for size in BATCH_SIZES for columnar in (False, True)
+        ]
+        scalar_t = float("inf")
+        best = {cell: float("inf") for cell in cells}
+        scalar_rows = None
+        rows_by_cell = {}
+        cold_by_cell = {}
+        for _ in range(5):
+            t, scalar_rows = _timed(scalar_run)
+            scalar_t = min(scalar_t, t)
+            for cell in cells:
+                t, rows_by_cell[cell] = _timed(lambda: batch_run(*cell))
+                cold_by_cell[cell] = pdf_cache_stats()
+                best[cell] = min(best[cell], t)
         scalar_key = [(t.tuple_id, t.certain["sid"]) for t in scalar_rows]
         variants = []
-        for size in BATCH_SIZES:
-            bt, rows = _best_of(lambda: batch_run(size))
-            cold_stats = pdf_cache_stats()
+        for size, columnar in cells:
+            rows = rows_by_cell[(size, columnar)]
             assert [(t.tuple_id, t.certain["sid"]) for t in rows] == scalar_key
             PDF_OP_CACHE.hits = 0  # warm protocol: keep entries, zero counters
             PDF_OP_CACHE.misses = 0
             warm_t0 = time.perf_counter()
-            batch_run_warm = [t for b in make_plan().batches(size) for t in b.tuples]
+            warm_rows = [
+                t for b in make_plan(columnar).batches(size) for t in b.tuples
+            ]
             warm_t = time.perf_counter() - warm_t0
-            assert len(batch_run_warm) == len(scalar_rows)
+            assert len(warm_rows) == len(scalar_rows)
             variants.append(
                 {
                     "batch_size": size,
-                    "seconds": bt,
-                    "speedup": scalar_t / bt,
-                    "cold_cache": cold_stats,
+                    "columnar": columnar,
+                    "seconds": best[(size, columnar)],
+                    "speedup": scalar_t / best[(size, columnar)],
+                    "cold_cache": cold_by_cell[(size, columnar)],
                     "warm_seconds": warm_t,
                     "warm_cache": pdf_cache_stats(),
                 }
@@ -208,12 +247,14 @@ def bench_batch_pipeline_sweep(benchmark, capsys):
             "tuples": SWEEP_N,
             "result_rows": len(scalar_rows),
             "scalar_seconds": scalar_t,
+            "environment": environment_info(),
             "variants": variants,
         }
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    out_path = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+    out_name = os.environ.get("REPRO_BENCH_ENGINE_OUT", "BENCH_engine.json")
+    out_path = Path(__file__).resolve().parents[1] / out_name
     out_path.write_text(json.dumps(report, indent=2) + "\n")
 
     with capsys.disabled():
@@ -223,10 +264,11 @@ def bench_batch_pipeline_sweep(benchmark, capsys):
         print_figure(
             "Batched pipeline: Gaussian range selection (scalar baseline "
             f"{report['scalar_seconds'] * 1000:.2f} ms)",
-            ["batch_size", "seconds", "speedup", "warm_hit_rate"],
+            ["batch_size", "variant", "seconds", "speedup", "warm_hit_rate"],
             [
                 [
                     v["batch_size"],
+                    "columnar" if v["columnar"] else "batched",
                     v["seconds"],
                     v["speedup"],
                     v["warm_cache"]["hit_rate"],
@@ -236,5 +278,17 @@ def bench_batch_pipeline_sweep(benchmark, capsys):
         )
         print(f"wrote {out_path}")
 
-    big = [v["speedup"] for v in report["variants"] if v["batch_size"] >= 256]
+    big = [
+        v["speedup"]
+        for v in report["variants"]
+        if v["batch_size"] >= 256 and not v["columnar"]
+    ]
     assert max(big) >= 3.0, f"batch >=256 speedups {big} below the 3x bar"
+    col = [
+        v["speedup"]
+        for v in report["variants"]
+        if v["batch_size"] >= 256 and v["columnar"]
+    ]
+    assert max(col) >= COLUMNAR_BAR, (
+        f"columnar >=256 speedups {col} below the {COLUMNAR_BAR}x bar"
+    )

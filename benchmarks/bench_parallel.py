@@ -27,6 +27,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench.envinfo import environment_info
 from repro.core.model import ModelConfig
 from repro.core.operations import PDF_OP_CACHE
 from repro.engine.database import Database
@@ -144,7 +145,12 @@ def bench_parallel_worker_sweep(benchmark, capsys):
                 }
             )
         db.catalog.config = ModelConfig()
-        return {"tuples": N, "cpus": cpus, "workloads": workloads}
+        return {
+            "tuples": N,
+            "cpus": cpus,
+            "workloads": workloads,
+            "environment": environment_info(),
+        }
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -25,6 +25,7 @@ import re
 import time
 from pathlib import Path
 
+from repro.bench.envinfo import environment_info
 from repro.core.model import ModelConfig
 from repro.core.operations import PDF_OP_CACHE
 from repro.engine.database import Database
@@ -121,7 +122,12 @@ def bench_scan_pruning_sweep(benchmark, capsys):
                 }
             )
         db.catalog.config = ModelConfig()
-        return {"tuples": N, "spread": SPREAD, "points": points}
+        return {
+            "tuples": N,
+            "spread": SPREAD,
+            "points": points,
+            "environment": environment_info(),
+        }
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -25,6 +25,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.bench.envinfo import environment_info
 from repro.engine.database import Database
 
 N = int(os.environ.get("REPRO_BENCH_WAL_N", "600"))
@@ -95,7 +96,11 @@ def bench_wal_group_commit(benchmark, capsys):
                 }
             finally:
                 shutil.rmtree(workdir, ignore_errors=True)
-        return {"inserts": N, "cells": report_cells}
+        return {
+            "inserts": N,
+            "cells": report_cells,
+            "environment": environment_info(),
+        }
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -1,0 +1,112 @@
+"""Perf-regression guard over the committed ``BENCH_engine.json``.
+
+Compares the batch-256 columnar speedup of the current report against the
+value committed at a baseline git ref (default ``HEAD``), with a slack
+factor absorbing machine noise.  Run it after regenerating the report and
+before committing::
+
+    python benchmarks/check_perf_regression.py --baseline-ref HEAD
+
+In CI the baseline is the parent commit (``--baseline-ref HEAD~1``) so a
+pull request that slows the columnar path fails loudly.  The guard is
+deliberately tolerant of history it cannot see: a missing ref, a missing
+baseline file, or a baseline measured at a different ``tuples`` count only
+prints a note — the absolute ``--min-speedup`` floor still applies.
+
+Baselines written before the columnar path existed lack the ``columnar``
+variant field; the guard falls back to the plain batch-256 speedup of that
+era so the comparison stays meaningful across the schema change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def batch256_speedup(report: dict) -> float:
+    """The batch-256 speedup, preferring the columnar variant when present."""
+    variants = [v for v in report.get("variants", []) if v.get("batch_size") == 256]
+    if not variants:
+        raise SystemExit("perf guard: no batch-256 variant in report")
+    columnar = [v for v in variants if v.get("columnar")]
+    chosen = columnar[0] if columnar else variants[0]
+    return float(chosen["speedup"])
+
+
+def load_baseline(ref: str, name: str) -> dict | None:
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{name}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="BENCH_engine.json", help="current report path, relative to the repo root")
+    ap.add_argument("--baseline-ref", default="HEAD", help="git ref holding the previous committed report")
+    ap.add_argument("--slack", type=float, default=0.75, help="tolerated fraction of the baseline speedup")
+    ap.add_argument("--min-speedup", type=float, default=None, help="absolute floor on the batch-256 speedup")
+    args = ap.parse_args(argv)
+
+    report_path = REPO_ROOT / args.report
+    if not report_path.exists():
+        print(f"perf guard: {args.report} not found", file=sys.stderr)
+        return 1
+    report = json.loads(report_path.read_text())
+    current = batch256_speedup(report)
+    print(f"perf guard: current batch-256 speedup {current:.2f}x (tuples={report.get('tuples')})")
+
+    if args.min_speedup is not None and current < args.min_speedup:
+        print(
+            f"perf guard: FAIL — {current:.2f}x below the absolute floor "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+
+    baseline = load_baseline(args.baseline_ref, args.report)
+    if baseline is None:
+        print(f"perf guard: no baseline at {args.baseline_ref}:{args.report}; skipping comparison")
+        return 0
+    if baseline.get("tuples") != report.get("tuples"):
+        print(
+            "perf guard: baseline measured at tuples="
+            f"{baseline.get('tuples')}, report at tuples={report.get('tuples')}; "
+            "skipping comparison (speedups are not comparable across N)"
+        )
+        return 0
+
+    previous = batch256_speedup(baseline)
+    floor = args.slack * previous
+    print(
+        f"perf guard: baseline {previous:.2f}x at {args.baseline_ref}, "
+        f"floor {floor:.2f}x (slack {args.slack})"
+    )
+    if current < floor:
+        print(
+            f"perf guard: FAIL — batch-256 speedup regressed {previous:.2f}x -> {current:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

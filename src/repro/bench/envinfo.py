@@ -1,0 +1,28 @@
+"""Environment provenance for benchmark reports.
+
+Every ``BENCH_*.json`` writer embeds this snapshot so the perf trajectory
+recorded in the repo stays comparable across machines and toolchain
+versions — a speedup regression can be told apart from a hardware change.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+import numpy as np
+import scipy
+
+__all__ = ["environment_info"]
+
+
+def environment_info() -> dict:
+    """A JSON-serializable snapshot of the benchmark environment."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }

@@ -115,6 +115,15 @@ class ModelConfig:
         mass/support summary) first and deserialize the pdf payload only
         for tuples that survive the certain-attribute predicate and the
         per-tuple support/mass tests.
+    ``columnar``
+        When True (the default), scans emit
+        :class:`~repro.engine.executor.columnar.ColumnarBatch` es carrying
+        struct-of-arrays views (per-family pdf parameter arrays, tuple-id
+        and certain-value vectors), and Filter / ProbFilter /
+        ThresholdFilter evaluate their fast paths as fused ufunc sweeps
+        over those arrays.  ``False`` keeps the list-of-tuples batches.
+        Either way the scalar iterator remains the reference semantics;
+        the columnar path is asserted bitwise identical to it.
     """
 
     use_history: bool = True
@@ -127,21 +136,24 @@ class ModelConfig:
     morsel_size: int = 1024
     scan_pruning: bool = True
     lazy_decode: bool = True
+    columnar: bool = True
 
 
 def _config_from_env() -> "ModelConfig":
     """The process-default config, honoring REPRO_* environment overrides.
 
     ``REPRO_WORKERS`` / ``REPRO_PARALLEL_BACKEND`` let CI exercise the
-    parallel executor across the whole suite without touching call sites.
+    parallel executor across the whole suite without touching call sites;
+    ``REPRO_COLUMNAR=0`` likewise forces the list-of-tuples batch path.
     """
     import os
 
     workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
     backend = os.environ.get("REPRO_PARALLEL_BACKEND", "thread") or "thread"
-    if workers == 1 and backend == "thread":
+    columnar = os.environ.get("REPRO_COLUMNAR", "1") not in ("0", "false", "off")
+    if workers == 1 and backend == "thread" and columnar:
         return ModelConfig()
-    return ModelConfig(workers=workers, parallel_backend=backend)
+    return ModelConfig(workers=workers, parallel_backend=backend, columnar=columnar)
 
 
 DEFAULT_CONFIG = _config_from_env()
@@ -373,6 +385,7 @@ class ProbabilisticRelation:
         self.store = store if store is not None else HistoryStore()
         self.name = name
         self.tuples: List[ProbabilisticTuple] = []
+        self._columnar_cache = None
 
     # -- insertion ---------------------------------------------------------
 
@@ -392,11 +405,13 @@ class ProbabilisticRelation:
         """
         t = build_base_tuple(self.schema, self.store, certain, uncertain)
         self.tuples.append(t)
+        self._columnar_cache = None
         return t
 
     def delete(self, t: ProbabilisticTuple) -> None:
         """Delete a base tuple; referenced pdfs survive as phantom nodes."""
         self.tuples.remove(t)
+        self._columnar_cache = None
         for lin in t.lineage.values():
             if lin:
                 self.store.release(lin)
@@ -415,6 +430,7 @@ class ProbabilisticRelation:
                 if lin:
                     self.store.acquire(lin)
         self.tuples.append(t)
+        self._columnar_cache = None
 
     def drop(self) -> None:
         """Release every tuple's ancestor references and clear the relation."""
@@ -423,6 +439,23 @@ class ProbabilisticRelation:
                 if lin:
                     self.store.release(lin)
         self.tuples.clear()
+        self._columnar_cache = None
+
+    def columnar_segment(self):
+        """The cached struct-of-arrays view over the current tuple vector.
+
+        Rebuilt (lazily) after any mutation; the returned
+        :class:`~repro.core.columnar.ColumnarSegment` snapshots the tuple
+        list, so scans that captured it keep a consistent row mapping even
+        if the relation mutates mid-scan.  The length check is a belt-and-
+        braces guard for mutation paths that bypass the public methods.
+        """
+        seg = self._columnar_cache
+        if seg is None or seg.n != len(self.tuples):
+            from .columnar import ColumnarSegment
+
+            seg = self._columnar_cache = ColumnarSegment(self.tuples)
+        return seg
 
     # -- inspection -------------------------------------------------------------------
 

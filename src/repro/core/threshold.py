@@ -29,6 +29,7 @@ from .operations import cached_mass, cached_masses, product
 __all__ = [
     "probability_of",
     "batch_probability_of",
+    "columnar_probability_of",
     "tuple_probability",
     "threshold_select",
     "existence_probability",
@@ -106,6 +107,47 @@ def batch_probability_of(
         masses = cached_masses(single_pdfs)
         for i, m in zip(single_idx, masses):
             out[i] = min(m, 1.0)
+    return out
+
+
+def columnar_probability_of(
+    batch,
+    store,
+    attrs: Optional[Iterable[str]] = None,
+    config: ModelConfig = DEFAULT_CONFIG,
+) -> list:
+    """:func:`batch_probability_of` over a columnar batch.
+
+    Applies when the batch's tuples carry exactly one dependency set (the
+    common single-uncertain-column shape): NULL rows and raw symbolic-family
+    rows resolve to probability 1.0 straight off the column's row vectors —
+    a raw family's ``mass()`` is exactly 1.0, so ``min(mass, 1.0)`` needs no
+    evaluation at all — and only the leftover rows (floored pdfs, discrete
+    materializations, joints) pay the per-tuple target resolution of the
+    reference path.  Any shape the column view cannot express falls back to
+    :func:`batch_probability_of` wholesale; results are element-wise
+    identical either way.
+    """
+    tuples = batch.tuples
+    if not tuples:
+        return []
+    deps = list(tuples[0].pdfs.keys())
+    if len(deps) != 1:
+        return batch_probability_of(tuples, store, attrs, config)
+    dep = deps[0]
+    if attrs is not None and not (dep & set(attrs)):
+        # no target dependency sets: every tuple exists with certainty
+        return [1.0] * len(tuples)
+    col = batch.attr_column(dep)
+    if col is None:
+        return batch_probability_of(tuples, store, attrs, config)
+
+    out: list = [1.0] * len(tuples)
+    if len(col.other_rows):
+        other = col.other_rows.tolist()
+        sub = batch_probability_of([tuples[i] for i in other], store, attrs, config)
+        for i, p in zip(other, sub):
+            out[i] = p
     return out
 
 

@@ -35,7 +35,11 @@ class TupleBatch:
     __slots__ = ("tuples",)
 
     def __init__(self, tuples: Sequence[ProbabilisticTuple]):
-        self.tuples = list(tuples)
+        # No-copy fast path: every constructor call site hands over a list
+        # it will not mutate afterwards (fresh slices, comprehensions, or
+        # buffers it immediately rebinds), so copying again is pure waste
+        # on the hot batch path.  Non-list sequences still get materialized.
+        self.tuples = tuples if type(tuples) is list else list(tuples)
 
     def __len__(self) -> int:
         return len(self.tuples)

@@ -51,6 +51,8 @@ from ...core.model import ModelConfig, ProbabilisticTuple
 from .aggregate import Aggregate, Distinct, GroupAggregate
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
+from ...core.columnar import ColumnarSegment
+from .columnar import ColumnarBatch
 from .relational import (
     Filter,
     HashJoin,
@@ -205,10 +207,11 @@ class _PageMorselScan(Operator):
     the candidate pages were split into morsels).
     """
 
-    def __init__(self, table, page_ids: List[int], pruner=None):
+    def __init__(self, table, page_ids: List[int], pruner=None, columnar: bool = True):
         self.table = table
         self.page_ids = page_ids
         self.pruner = pruner
+        self.columnar = columnar
         self.output_schema = table.schema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
@@ -218,23 +221,35 @@ class _PageMorselScan(Operator):
         for chunk in self.table.scan_batches(
             size, page_ids=self.page_ids, pruner=self.pruner
         ):
-            yield TupleBatch(chunk)
+            yield ColumnarBatch(chunk) if self.columnar else TupleBatch(chunk)
 
     def label(self) -> str:
         return f"PageMorselScan({self.table.name}, {len(self.page_ids)} pages)"
 
 
 class _ListMorselScan(Operator):
-    """RelationScan restricted to a tuple slice (one morsel)."""
+    """RelationScan restricted to a tuple slice (one morsel).
 
-    def __init__(self, tuples: List[ProbabilisticTuple], schema):
+    With ``columnar`` on, the fragment builds its own per-morsel
+    :class:`~repro.core.columnar.ColumnarSegment` — the gather runs on the
+    worker, so parameter-array construction parallelizes with the rest of
+    the fragment chain.
+    """
+
+    def __init__(self, tuples: List[ProbabilisticTuple], schema, columnar: bool = True):
         self.tuples = tuples
+        self.columnar = columnar
         self.output_schema = schema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return iter(self.tuples)
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        if self.columnar:
+            seg = ColumnarSegment(self.tuples)
+            for start in range(0, len(self.tuples), size):
+                yield ColumnarBatch(seg.tuples[start : start + size], seg, start)
+            return
         for start in range(0, len(self.tuples), size):
             yield TupleBatch(self.tuples[start : start + size])
 
@@ -245,16 +260,18 @@ class _ListMorselScan(Operator):
 class _RidMorselScan(Operator):
     """Index scan restricted to an RID subset (one morsel, order-preserving)."""
 
-    def __init__(self, table, rids: List, schema):
+    def __init__(self, table, rids: List, schema, columnar: bool = True):
         self.table = table
         self.rids = rids
+        self.columnar = columnar
         self.output_schema = schema
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return self.table.read_grouped(iter(self.rids))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return batched(iter(self), size)
+        for batch in batched(iter(self), size):
+            yield ColumnarBatch(batch.tuples) if self.columnar else batch
 
     def label(self) -> str:
         return f"RidMorselScan({self.table.name}, {len(self.rids)} rids)"
@@ -292,8 +309,10 @@ def _split_source(
         if len(chunks) < 2:
             return None
         pruner = leaf.pruner
+        columnar = config.columnar
         return [
-            (lambda c=chunk: _PageMorselScan(table, c, pruner)) for chunk in chunks
+            (lambda c=chunk: _PageMorselScan(table, c, pruner, columnar))
+            for chunk in chunks
         ]
     if isinstance(leaf, RelationScan):
         tuples = leaf.relation.tuples
@@ -304,8 +323,9 @@ def _split_source(
         if len(chunks) < 2:
             return None
         schema = leaf.output_schema
+        columnar = config.columnar
         return [
-            (lambda c=chunk: _ListMorselScan(c, schema)) for chunk in chunks
+            (lambda c=chunk: _ListMorselScan(c, schema, columnar)) for chunk in chunks
         ]
     if isinstance(leaf, (BTreeScan, PtiScan, SpatialScan)):
         rids = list(leaf._rids())
@@ -316,8 +336,10 @@ def _split_source(
         if len(chunks) < 2:
             return None
         table, schema = leaf.table, leaf.output_schema
+        columnar = config.columnar
         return [
-            (lambda c=chunk: _RidMorselScan(table, c, schema)) for chunk in chunks
+            (lambda c=chunk: _RidMorselScan(table, c, schema, columnar))
+            for chunk in chunks
         ]
     return None
 

@@ -23,10 +23,15 @@ from ...core.operations import cached_marginalize, cached_mass
 from ...core.predicates import Predicate
 from ...core.project import ProjectionPlan
 from ...core.select import SelectionPlan
-from ...core.threshold import batch_probability_of, probability_of
+from ...core.threshold import (
+    batch_probability_of,
+    columnar_probability_of,
+    probability_of,
+)
 from ...errors import QueryError, SchemaError
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
+from .columnar import ColumnarBatch
 
 __all__ = [
     "Filter",
@@ -76,9 +81,14 @@ class Filter(Operator):
         return self._count_tuples(run())
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        columnar = self.plan.config.columnar
+
         def run():
             for batch in self.child.batches(size):
-                results = self.plan.apply_batch(batch.tuples, self.store)
+                if columnar and type(batch) is ColumnarBatch:
+                    results = self.plan.apply_columnar(batch, self.store)
+                else:
+                    results = self.plan.apply_batch(batch.tuples, self.store)
                 kept = [r for r in results if r is not None]
                 if kept:
                     yield TupleBatch(kept)
@@ -87,6 +97,19 @@ class Filter(Operator):
 
     def children(self) -> List[Operator]:
         return [self.child]
+
+    def explain_extras(self) -> List[str]:
+        stats = self.plan.columnar_stats
+        kernel, fallback = stats["kernel_rows"], stats["fallback_rows"]
+        if not kernel and not fallback:
+            return []
+        extras = [f"columnar_rows={kernel}/{kernel + fallback}"]
+        if stats["families"]:
+            fams = ",".join(
+                f"{name}:{count}" for name, count in sorted(stats["families"].items())
+            )
+            extras.append(f"kernels={fams}")
+        return extras
 
     def label(self) -> str:
         return f"Filter({self.predicate!r})"
@@ -105,12 +128,22 @@ class Project(Operator):
         self.attrs = list(attrs)
         self.plan = ProjectionPlan(child.output_schema, attrs, partial_sets=None, config=config)
         self.output_schema = self.plan.output_schema
+        # A projection that keeps every visible attribute in order and every
+        # dependency set intact rebuilds each tuple with the same contents;
+        # the batch path passes such batches through untouched so columnar
+        # views survive a SELECT * projection.
+        self._identity = self.attrs == list(
+            child.output_schema.visible_attrs
+        ) and all(action == "keep" for _, action in self.plan._actions)
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         for t in self.child:
             yield self.plan.apply(t)
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        if self._identity:
+            yield from self.child.batches(size)
+            return
         apply = self.plan.apply
         for batch in self.child.batches(size):
             yield TupleBatch([apply(t) for t in batch.tuples])
@@ -459,8 +492,12 @@ class ProbFilter(Operator):
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
         compare = _THRESH_OPS[self.op]
+        columnar = self.config.columnar
         for batch in self.child.batches(size):
-            selected = self.plan.apply_batch(batch.tuples, self.store)
+            if columnar and type(batch) is ColumnarBatch:
+                selected = self.plan.apply_columnar(batch, self.store)
+            else:
+                selected = self.plan.apply_batch(batch.tuples, self.store)
             alive = [(i, s) for i, s in enumerate(selected) if s is not None]
             probs = dict(
                 zip(
@@ -520,10 +557,16 @@ class ThresholdFilter(Operator):
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
         compare = _THRESH_OPS[self.op]
+        columnar = self.config.columnar and len(self.output_schema.dependency) == 1
         for batch in self.child.batches(size):
-            probs = batch_probability_of(
-                batch.tuples, self.store, self.attrs, self.config
-            )
+            if columnar and type(batch) is ColumnarBatch:
+                probs = columnar_probability_of(
+                    batch, self.store, self.attrs, self.config
+                )
+            else:
+                probs = batch_probability_of(
+                    batch.tuples, self.store, self.attrs, self.config
+                )
             kept = [
                 t for t, p in zip(batch.tuples, probs) if compare(p, self.threshold)
             ]

@@ -10,51 +10,87 @@ from ..storage.synopsis import ScanPruner
 from ..table import Table
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch
+from .columnar import ColumnarBatch
 
 __all__ = ["SeqScan", "BTreeScan", "PtiScan", "SpatialScan", "RelationScan"]
 
 
-def _rid_batches(table: Table, rids: Iterator, size: int) -> Iterator[TupleBatch]:
+def _rid_batches(
+    table: Table, rids: Iterator, size: int, columnar: bool = True
+) -> Iterator[TupleBatch]:
     """Chunk an RID stream into decoded TupleBatches via grouped page reads."""
     buf = []
     for t in table.read_grouped(rids):
         buf.append(t)
         if len(buf) >= size:
-            yield TupleBatch(buf)
+            yield ColumnarBatch(buf) if columnar else TupleBatch(buf)
             buf = []
     if buf:
-        yield TupleBatch(buf)
+        yield ColumnarBatch(buf) if columnar else TupleBatch(buf)
 
 
-class RelationScan(Operator):
+class _ColumnarScanMixin:
+    """Shared EXPLAIN counters: batches emitted columnar vs. tuple-path."""
+
+    columnar_batches: int = 0
+    fallback_batches: int = 0
+
+    def _columnar_extras(self) -> List[str]:
+        total = self.columnar_batches + self.fallback_batches
+        if not total:
+            return []
+        return [f"columnar_batches={self.columnar_batches}/{total}"]
+
+
+class RelationScan(_ColumnarScanMixin, Operator):
     """Scan an in-memory probabilistic relation (no storage involved).
 
     Lets the executor operators run over :class:`ProbabilisticRelation`
     values produced by the model API — used by benchmarks and by users who
-    want operator trees without a stored table.
+    want operator trees without a stored table.  With ``columnar`` on (the
+    default) batches share the relation's cached
+    :class:`~repro.core.columnar.ColumnarSegment`, so the per-family
+    parameter gather is paid once per relation version, not once per scan.
     """
 
-    def __init__(self, relation: ProbabilisticRelation):
+    def __init__(self, relation: ProbabilisticRelation, columnar: bool = True):
         self.relation = relation
+        self.columnar = columnar
         self.output_schema = relation.schema
+        self.columnar_batches = 0
+        self.fallback_batches = 0
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return self._count_tuples(iter(self.relation.tuples))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
         def run():
+            if self.columnar:
+                # Slice the segment's snapshot, not the live tuple list, so
+                # the row ↔ column alignment holds even if the relation
+                # mutates mid-scan.
+                seg = self.relation.columnar_segment()
+                tuples = seg.tuples
+                for start in range(0, len(tuples), size):
+                    self.columnar_batches += 1
+                    yield ColumnarBatch(tuples[start : start + size], seg, start)
+                return
             tuples = self.relation.tuples
             for start in range(0, len(tuples), size):
+                self.fallback_batches += 1
                 yield TupleBatch(tuples[start : start + size])
 
         return self._count_batches(run())
+
+    def explain_extras(self) -> List[str]:
+        return self._columnar_extras()
 
     def label(self) -> str:
         name = self.relation.name or "<anonymous>"
         return f"RelationScan({name})"
 
 
-class SeqScan(Operator):
+class SeqScan(_ColumnarScanMixin, Operator):
     """Sequential scan of a table, in page order.
 
     An optional :class:`ScanPruner` turns the full scan into a *pruned*
@@ -63,14 +99,28 @@ class SeqScan(Operator):
     the pdf payloads of rejected tuples are never deserialized.  The
     pruner only drops tuples the plan's own filters would drop, so the
     query answer is unchanged.
+
+    With ``columnar`` on, each decoded page chunk is wrapped in a
+    :class:`ColumnarBatch` whose struct-of-arrays view is built lazily the
+    first time a columnar operator asks for it — record format v5's lazy
+    pdf payloads still decode per record, then gather into parameter arrays
+    once per batch.
     """
 
-    def __init__(self, table: Table, pruner: Optional[ScanPruner] = None):
+    def __init__(
+        self,
+        table: Table,
+        pruner: Optional[ScanPruner] = None,
+        columnar: bool = True,
+    ):
         self.table = table
         self.pruner = pruner
+        self.columnar = columnar
         self.output_schema = table.schema
         #: (pages visited, total pages) of the last candidate computation
         self.page_stats: Optional[tuple] = None
+        self.columnar_batches = 0
+        self.fallback_batches = 0
 
     def candidate_page_ids(self) -> List[int]:
         """The pages this scan will visit (after synopsis pruning)."""
@@ -96,16 +146,23 @@ class SeqScan(Operator):
 
         return self._count_tuples(run())
 
+    def _wrap(self, chunk) -> TupleBatch:
+        if self.columnar:
+            self.columnar_batches += 1
+            return ColumnarBatch(chunk)
+        self.fallback_batches += 1
+        return TupleBatch(chunk)
+
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
         def run():
             if not self._pruned():
                 for chunk in self.table.scan_batches(size):
-                    yield TupleBatch(chunk)
+                    yield self._wrap(chunk)
                 return
             for chunk in self.table.scan_batches(
                 size, page_ids=self.candidate_page_ids(), pruner=self.pruner
             ):
-                yield TupleBatch(chunk)
+                yield self._wrap(chunk)
 
         return self._count_batches(run())
 
@@ -122,10 +179,11 @@ class SeqScan(Operator):
                 extras.append("pruned")
         if self.pruner is not None and self.pruner.lazy:
             extras.append("lazy")
+        extras.extend(self._columnar_extras())
         return extras
 
 
-class BTreeScan(Operator):
+class BTreeScan(_ColumnarScanMixin, Operator):
     """Range scan via a B+tree on a certain column.
 
     ``lo``/``hi`` of ``None`` leave that side unbounded.  Emits tuples in
@@ -140,6 +198,7 @@ class BTreeScan(Operator):
         hi=None,
         include_lo: bool = True,
         include_hi: bool = True,
+        columnar: bool = True,
     ):
         if attr not in table.btrees:
             raise QueryError(f"no B+tree index on {table.name}.{attr}")
@@ -147,7 +206,10 @@ class BTreeScan(Operator):
         self.attr = attr
         self.lo, self.hi = lo, hi
         self.include_lo, self.include_hi = include_lo, include_hi
+        self.columnar = columnar
         self.output_schema = table.schema
+        self.columnar_batches = 0
+        self.fallback_batches = 0
 
     def _rids(self) -> Iterator:
         tree = self.table.btrees[self.attr]
@@ -158,28 +220,42 @@ class BTreeScan(Operator):
         # Grouped reads pin a page once per run of same-page RIDs.
         return self._count_tuples(self.table.read_grouped(self._rids()))
 
+    def _counted_rid_batches(self, size: int) -> Iterator[TupleBatch]:
+        for batch in _rid_batches(self.table, self._rids(), size, self.columnar):
+            if self.columnar:
+                self.columnar_batches += 1
+            else:
+                self.fallback_batches += 1
+            yield batch
+
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return self._count_batches(_rid_batches(self.table, self._rids(), size))
+        return self._count_batches(self._counted_rid_batches(size))
+
+    def explain_extras(self) -> List[str]:
+        return self._columnar_extras()
 
     def label(self) -> str:
         return f"BTreeScan({self.table.name}.{self.attr} in [{self.lo}, {self.hi}])"
 
 
-class SpatialScan(Operator):
+class SpatialScan(_ColumnarScanMixin, Operator):
     """Candidate scan via a spatial grid index over a joint dependency set.
 
     Yields records whose support bounding box intersects the query window;
     the caller verifies exactly (the planner stacks the real Filter above).
     """
 
-    def __init__(self, table: Table, attrs, window):
+    def __init__(self, table: Table, attrs, window, columnar: bool = True):
         attrs = tuple(attrs)
         if attrs not in table.spatials:
             raise QueryError(f"no spatial index on {table.name}{list(attrs)}")
         self.table = table
         self.attrs = attrs
         self.window = [(float(lo), float(hi)) for lo, hi in window]
+        self.columnar = columnar
         self.output_schema = table.schema
+        self.columnar_batches = 0
+        self.fallback_batches = 0
 
     def _rids(self) -> Iterator:
         index = self.table.spatials[self.attrs]
@@ -188,8 +264,19 @@ class SpatialScan(Operator):
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return self._count_tuples(self.table.read_grouped(self._rids()))
 
+    def _counted_rid_batches(self, size: int) -> Iterator[TupleBatch]:
+        for batch in _rid_batches(self.table, self._rids(), size, self.columnar):
+            if self.columnar:
+                self.columnar_batches += 1
+            else:
+                self.fallback_batches += 1
+            yield batch
+
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return self._count_batches(_rid_batches(self.table, self._rids(), size))
+        return self._count_batches(self._counted_rid_batches(size))
+
+    def explain_extras(self) -> List[str]:
+        return self._columnar_extras()
 
     def label(self) -> str:
         parts = ", ".join(
@@ -198,7 +285,7 @@ class SpatialScan(Operator):
         return f"SpatialScan({self.table.name}: {parts})"
 
 
-class PtiScan(Operator):
+class PtiScan(_ColumnarScanMixin, Operator):
     """Candidate scan via a probability-threshold index on an uncertain column.
 
     Yields only records whose x-bounds say they *might* satisfy
@@ -213,6 +300,7 @@ class PtiScan(Operator):
         lo: float,
         hi: float,
         threshold: float = 0.0,
+        columnar: bool = True,
     ):
         if attr not in table.ptis:
             raise QueryError(f"no probability-threshold index on {table.name}.{attr}")
@@ -220,7 +308,10 @@ class PtiScan(Operator):
         self.attr = attr
         self.lo, self.hi = float(lo), float(hi)
         self.threshold = float(threshold)
+        self.columnar = columnar
         self.output_schema = table.schema
+        self.columnar_batches = 0
+        self.fallback_batches = 0
 
     def _rids(self) -> Iterator:
         index = self.table.ptis[self.attr]
@@ -229,8 +320,19 @@ class PtiScan(Operator):
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         return self._count_tuples(self.table.read_grouped(self._rids()))
 
+    def _counted_rid_batches(self, size: int) -> Iterator[TupleBatch]:
+        for batch in _rid_batches(self.table, self._rids(), size, self.columnar):
+            if self.columnar:
+                self.columnar_batches += 1
+            else:
+                self.fallback_batches += 1
+            yield batch
+
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return self._count_batches(_rid_batches(self.table, self._rids(), size))
+        return self._count_batches(self._counted_rid_batches(size))
+
+    def explain_extras(self) -> List[str]:
+        return self._columnar_extras()
 
     def label(self) -> str:
         return (

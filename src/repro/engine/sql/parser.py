@@ -33,6 +33,7 @@ Distribution literals::
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from ...errors import SqlParseError
@@ -151,6 +152,13 @@ class _Parser:
             pass
         token = self.expect("NUMBER")
         return sign * float(token.value)
+
+    def parse_int(self, what: str) -> int:
+        """A number coerced to int; rejects non-finite lexemes like 1e999."""
+        value = self.parse_number()
+        if not math.isfinite(value):
+            raise self.error(f"{what} must be a finite integer")
+        return int(value)
 
     # -- entry ------------------------------------------------------------------
 
@@ -291,7 +299,9 @@ class _Parser:
         ):
             return self.parse_pdf_literal()
         value = self.parse_number()
-        if value == int(value) and "." not in token.value and "e" not in token.value.lower():
+        # Check the lexeme before int(value): ``1e999`` parses to inf, and
+        # int(inf) raises OverflowError.
+        if "." not in token.value and "e" not in token.value.lower() and value == int(value):
             return ast.LiteralExpr(int(value))
         return ast.LiteralExpr(value)
 
@@ -307,6 +317,8 @@ class _Parser:
             if len(args) != arity:
                 raise self.error(f"{name} takes {arity} parameters, got {len(args)}")
             if cls is BinomialPdf:
+                if not math.isfinite(args[0]):
+                    raise self.error(f"{name} count must be a finite integer")
                 args[0] = int(args[0])
             pdf = cls(*args)
         elif name == "DISCRETE":
@@ -344,6 +356,13 @@ class _Parser:
             while self.accept("PUNCT", ","):
                 rows.append(self.parse_bracket_list())
             self.expect("PUNCT", "]")
+            # scipy's multivariate_normal raises a bare ValueError on
+            # non-finite parameters (e.g. a 1e999 literal); reject here so
+            # any malformed SQL still surfaces as a parse error.
+            if not all(math.isfinite(v) for v in mean) or not all(
+                math.isfinite(v) for row in rows for v in row
+            ):
+                raise self.error(f"{name} parameters must be finite")
             attrs = [f"x{i}" for i in range(len(mean))]
             pdf = JointGaussianPdf(attrs, mean, rows)
         elif name == "JOINT_DISCRETE":
@@ -447,9 +466,9 @@ class _Parser:
         limit = None
         offset = 0
         if self.accept_keyword("LIMIT"):
-            limit = int(self.parse_number())
+            limit = self.parse_int("LIMIT")
             if self.accept_keyword("OFFSET"):
-                offset = int(self.parse_number())
+                offset = self.parse_int("OFFSET")
         return ast.Select(
             items,
             tables,

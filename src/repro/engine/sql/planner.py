@@ -426,7 +426,7 @@ def choose_scan(
                 est = float(rows)
                 for attr, window in zip(attrs, windows):
                     est *= _range_selectivity(table, attr, window)
-                spatial = SpatialScan(table, attrs, windows)
+                spatial = SpatialScan(table, attrs, windows, columnar=config.columnar)
                 spatial.est_rows = est
                 candidates.append((_COST_PROBE + est * _COST_FETCH, spatial))
         # B+tree on a certain column
@@ -441,6 +441,7 @@ def choose_scan(
                 attr,
                 lo=None if lo == float("-inf") else lo,
                 hi=None if hi == float("inf") else hi,
+                columnar=config.columnar,
             )
             btree.est_rows = est
             candidates.append((_COST_PROBE + est * _COST_FETCH, btree))
@@ -479,11 +480,11 @@ def choose_scan(
                         else _DEFAULT_RANGE_SEL
                     )
                     est = rows * frac
-                    pti = PtiScan(table, attr, lo, hi, threshold)
+                    pti = PtiScan(table, attr, lo, hi, threshold, columnar=config.columnar)
                     pti.est_rows = est
                     candidates.append((_COST_PROBE + est * _COST_FETCH, pti))
 
-    seq = SeqScan(table, pruner)
+    seq = SeqScan(table, pruner, columnar=config.columnar)
     seq.est_rows = _seq_estimate(table, rows, pruner)
     seq_cost = pages + rows * _COST_TUPLE
 

@@ -342,6 +342,7 @@ class _UndoInsert:
 @dataclass
 class _UndoDelete:
     table: object
+    rid: object
     raw: bytes
     t: object
     entries: Dict[AncestorRef, Optional[_Entry]]
@@ -468,8 +469,12 @@ class TransactionManager:
     def abort(self) -> None:
         if not self.active:
             raise TransactionError("no transaction in progress")
+        # Undoing a delete re-homes the record (pages never reuse slots), so
+        # later-undone entries that captured the original rid must be pointed
+        # at the restored location.
+        remap: Dict[object, object] = {}
         for entry in reversed(self._undo):
-            self._apply_undo(entry)
+            self._apply_undo(entry, remap)
         self.catalog.store._next_tuple_id = self._saved_next_tuple_id
         self.active = False
         self._ops = []
@@ -500,7 +505,7 @@ class TransactionManager:
         entries = _capture_entries(self.catalog.store, t)
         body = _b_str(table.name) + struct.pack("<q", t.tuple_id)
         self._ops.append((OP_DELETE, body))
-        self._undo.append(_UndoDelete(table, raw, t, entries))
+        self._undo.append(_UndoDelete(table, rid, raw, t, entries))
 
     def on_create_table(self, table) -> None:
         if not self._recording():
@@ -543,10 +548,12 @@ class TransactionManager:
 
     # -- undo ---------------------------------------------------------------
 
-    def _apply_undo(self, entry) -> None:
+    def _apply_undo(self, entry, remap: Optional[Dict[object, object]] = None) -> None:
         store = self.catalog.store
         if isinstance(entry, _UndoInsert):
             table, rid, t = entry.table, entry.rid, entry.t
+            if remap is not None:
+                rid = remap.get(rid, rid)
             table._index_delete(rid, t)
             syn = table.synopses.get(rid.page_id)
             if syn is not None:
@@ -570,6 +577,8 @@ class TransactionManager:
             _restore_entries(store, entry.entries)
             table, t = entry.table, entry.t
             rid = table.heap.insert(entry.raw)
+            if remap is not None and rid != entry.rid:
+                remap[entry.rid] = rid
             table._synopsis_insert(rid, t)
             table._index_insert(rid, t)
         elif isinstance(entry, _UndoCreateTable):

@@ -38,6 +38,11 @@ class FlooredPdf(UnivariatePdf):
 
     symbol = "FLOORED"
 
+    # Floors are allocated per-survivor on the columnar selection hot path;
+    # slots route the three stores past the instance dict.  The base classes
+    # are slotless, so lazy attributes (``_fp_memo``) still work.
+    __slots__ = ("attrs", "_base", "_allowed")
+
     def __init__(self, base: UnivariatePdf, allowed: IntervalSet):
         super().__init__(base.attr)
         if isinstance(base, FlooredPdf):

@@ -1,10 +1,12 @@
 """Vectorized probability kernels for batches of symbolic pdfs.
 
 The batch executor gathers the parameters of same-family symbolic pdfs
-(continuous: Gaussian, Uniform, Exponential; discrete: Bernoulli, Binomial,
-Poisson) into numpy arrays and evaluates all interval probabilities with one
-ufunc sweep instead of N scipy object round-trips.  The kernels are
-*bitwise-identical* to the scalar paths:
+(continuous: Gaussian, Uniform, Exponential, Triangular, Gamma, Lognormal,
+Beta, Weibull; discrete: Bernoulli, Binomial, Poisson, Geometric) into numpy
+arrays and evaluates all interval probabilities with one ufunc sweep instead
+of N scipy object round-trips.  Histogram pdfs vectorize as well: same-width
+groups share one bin-mass matrix sweep.  The kernels are *bitwise-identical*
+to the scalar paths:
 
 * scalar :meth:`ContinuousPdf.prob_interval` accumulates
   ``total += float(cdf(hi) - cdf(lo))`` per interval, left to right, then
@@ -12,7 +14,19 @@ ufunc sweep instead of N scipy object round-trips.  The kernels are
 * the kernels evaluate the same elementwise cdf ufuncs over the flattened
   endpoint arrays, sum per-pdf segments with ``np.bincount`` (which also
   accumulates in array order), and clamp with ``np.clip`` — the same IEEE
-  operations in the same order.
+  operations in the same order;
+* the families without cached closed forms (Triangular, Gamma, Lognormal,
+  Beta, Weibull) go through the scipy *class-level* cdf ufuncs, which are
+  the very functions their frozen distributions delegate to, so the batched
+  values equal the scalar ``.cdf()`` results bit for bit.  The lognormal
+  ``scale`` is gathered with per-pdf ``math.exp`` because that is what the
+  frozen constructor uses (``np.exp`` is not elementwise-identical to it).
+
+The parameter gathers live in :data:`FAMILY_PARAMS` so that columnar batches
+(:mod:`repro.engine.executor.columnar`) can materialize the parameter arrays
+once per segment and re-run sweeps over slices without touching the pdf
+objects again; :func:`interval_probs_params` is the array-native entry point
+those columnar sweeps use.
 
 Families not registered here fall back to their scalar methods, so the
 batch entry points accept arbitrary pdfs.
@@ -20,57 +34,314 @@ batch entry points accept arbitrary pdfs.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy import special, stats
 
 from .base import Pdf, UnivariatePdf
-from .continuous import ExponentialPdf, GaussianPdf, UniformPdf
+from .continuous import (
+    BetaPdf,
+    ExponentialPdf,
+    GammaPdf,
+    GaussianPdf,
+    LognormalPdf,
+    TriangularPdf,
+    UniformPdf,
+    WeibullPdf,
+)
 from .discrete import (
     BernoulliPdf,
     BinomialPdf,
     DiscretePdf,
+    GeometricPdf,
     PoissonPdf,
     SymbolicDiscretePdf,
 )
 from .floors import FlooredPdf
+from .histogram import HistogramPdf
 from .regions import BoxRegion, IntervalSet
 
 __all__ = [
+    "FAMILY_PARAMS",
     "VECTOR_FAMILIES",
     "DISCRETE_VECTOR_FAMILIES",
     "kernel_family",
     "supports_batch_mass",
+    "interval_probs_params",
     "batch_interval_probs",
     "batch_mass",
     "batch_materialize",
 ]
 
 
-def _gaussian_cdf(pdfs: Sequence[GaussianPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
-    mu = np.array([p._mu for p in pdfs])
-    sd = np.array([p._sd for p in pdfs])
-    return special.ndtr((xs - mu[seg]) / sd[seg])
+# ---------------------------------------------------------------------------
+# Continuous symbolic families: parameter gathers + array-native cdfs
+# ---------------------------------------------------------------------------
+#
+# Each family is split into two layers so the columnar executor can cache the
+# gathered parameter arrays:
+#
+# * a *gather* (``FAMILY_PARAMS``): pdf objects -> tuple of parameter arrays
+#   in the family's frozen-distribution parameterization;
+# * an array-native cdf (``_FAMILY_CDF``): (params, xs) -> cdf values, pure
+#   ufunc work, no pdf objects involved.
+#
+# ``VECTOR_FAMILIES`` (the object-level sweep used by ``batch_interval_probs``)
+# composes the two.
 
 
-def _uniform_cdf(pdfs: Sequence[UniformPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
-    lo = np.array([p._lo for p in pdfs])
-    hi = np.array([p._hi for p in pdfs])
-    return np.clip((xs - lo[seg]) / (hi[seg] - lo[seg]), 0.0, 1.0)
+def _gaussian_params(pdfs: Sequence[GaussianPdf]) -> Tuple[np.ndarray, ...]:
+    return (
+        np.array([p._mu for p in pdfs]),
+        np.array([p._sd for p in pdfs]),
+    )
 
 
-def _exponential_cdf(pdfs: Sequence[ExponentialPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
-    rate = np.array([p._rate for p in pdfs])
-    return np.where(xs <= 0.0, 0.0, 1.0 - np.exp(-rate[seg] * np.maximum(xs, 0.0)))
+def _gaussian_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    mu, sd = params
+    return special.ndtr((xs - mu) / sd)
+
+
+def _uniform_params(pdfs: Sequence[UniformPdf]) -> Tuple[np.ndarray, ...]:
+    return (
+        np.array([p._lo for p in pdfs]),
+        np.array([p._hi for p in pdfs]),
+    )
+
+
+def _uniform_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    lo, hi = params
+    return np.clip((xs - lo) / (hi - lo), 0.0, 1.0)
+
+
+def _exponential_params(pdfs: Sequence[ExponentialPdf]) -> Tuple[np.ndarray, ...]:
+    return (np.array([p._rate for p in pdfs]),)
+
+
+def _exponential_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    (rate,) = params
+    xs = np.asarray(xs, dtype=float)
+    return np.where(xs <= 0.0, 0.0, 1.0 - np.exp(-rate * np.maximum(xs, 0.0)))
+
+
+def _triangular_params(pdfs: Sequence[TriangularPdf]) -> Tuple[np.ndarray, ...]:
+    lo = np.array([p._params["lo"] for p in pdfs])
+    mode = np.array([p._params["mode"] for p in pdfs])
+    hi = np.array([p._params["hi"] for p in pdfs])
+    # The frozen dist is stats.triang(c, loc=lo, scale=hi - lo); elementwise
+    # IEEE subtraction/division reproduce the scalar parameters exactly.
+    return ((mode - lo) / (hi - lo), lo, hi - lo)
+
+
+def _triangular_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    c, loc, scale = params
+    return np.asarray(stats.triang.cdf(xs, c, loc=loc, scale=scale))
+
+
+def _gamma_params(pdfs: Sequence[GammaPdf]) -> Tuple[np.ndarray, ...]:
+    shape = np.array([p._params["shape"] for p in pdfs])
+    rate = np.array([p._params["rate"] for p in pdfs])
+    return (shape, 1.0 / rate)
+
+
+def _gamma_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    a, scale = params
+    return np.asarray(stats.gamma.cdf(xs, a, scale=scale))
+
+
+def _lognormal_params(pdfs: Sequence[LognormalPdf]) -> Tuple[np.ndarray, ...]:
+    s = np.array([p._params["sigma"] for p in pdfs])
+    # math.exp, not np.exp: the frozen dist's scale is math.exp(mu) and the
+    # two exponentials are not elementwise-identical.
+    scale = np.array([math.exp(p._params["mu"]) for p in pdfs])
+    return (s, scale)
+
+
+def _lognormal_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    s, scale = params
+    return np.asarray(stats.lognorm.cdf(xs, s, scale=scale))
+
+
+def _beta_params(pdfs: Sequence[BetaPdf]) -> Tuple[np.ndarray, ...]:
+    return (
+        np.array([p._params["alpha"] for p in pdfs]),
+        np.array([p._params["beta"] for p in pdfs]),
+    )
+
+
+def _beta_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    a, b = params
+    return np.asarray(stats.beta.cdf(xs, a, b))
+
+
+def _weibull_params(pdfs: Sequence[WeibullPdf]) -> Tuple[np.ndarray, ...]:
+    return (
+        np.array([p._params["shape"] for p in pdfs]),
+        np.array([p._params["scale"] for p in pdfs]),
+    )
+
+
+def _weibull_cdf_arrays(params: Tuple[np.ndarray, ...], xs) -> np.ndarray:
+    c, scale = params
+    return np.asarray(stats.weibull_min.cdf(xs, c, scale=scale))
+
+
+#: family type -> gather of the frozen-dist parameter arrays
+FAMILY_PARAMS: Dict[type, Callable[[Sequence[UnivariatePdf]], Tuple[np.ndarray, ...]]] = {
+    GaussianPdf: _gaussian_params,
+    UniformPdf: _uniform_params,
+    ExponentialPdf: _exponential_params,
+    TriangularPdf: _triangular_params,
+    GammaPdf: _gamma_params,
+    LognormalPdf: _lognormal_params,
+    BetaPdf: _beta_params,
+    WeibullPdf: _weibull_params,
+}
+
+#: family type -> array-native cdf over (parameter arrays, points)
+_FAMILY_CDF: Dict[type, Callable[[Tuple[np.ndarray, ...], object], np.ndarray]] = {
+    GaussianPdf: _gaussian_cdf_arrays,
+    UniformPdf: _uniform_cdf_arrays,
+    ExponentialPdf: _exponential_cdf_arrays,
+    TriangularPdf: _triangular_cdf_arrays,
+    GammaPdf: _gamma_cdf_arrays,
+    LognormalPdf: _lognormal_cdf_arrays,
+    BetaPdf: _beta_cdf_arrays,
+    WeibullPdf: _weibull_cdf_arrays,
+}
+
+
+def _make_vector_cdf(fam: type):
+    gather = FAMILY_PARAMS[fam]
+    cdf = _FAMILY_CDF[fam]
+
+    def vector_cdf(pdfs: Sequence[UnivariatePdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        params = gather(pdfs)
+        return cdf(tuple(a[seg] for a in params), xs)
+
+    return vector_cdf
 
 
 #: family type -> vectorized cdf over (pdfs, segment index per endpoint, endpoints)
 VECTOR_FAMILIES: Dict[type, Callable[[Sequence[UnivariatePdf], np.ndarray, np.ndarray], np.ndarray]] = {
-    GaussianPdf: _gaussian_cdf,
-    UniformPdf: _uniform_cdf,
-    ExponentialPdf: _exponential_cdf,
+    fam: _make_vector_cdf(fam) for fam in FAMILY_PARAMS
 }
+
+
+def interval_probs_params(
+    fam: type, params: Tuple[np.ndarray, ...], allowed: IntervalSet
+) -> np.ndarray:
+    """``P(X_i in allowed)`` for rows given as parameter arrays of one family.
+
+    The columnar fast path: every row shares the *same* interval set (the
+    selection region), so the cdf sweeps broadcast scalar endpoints against
+    the cached parameter arrays.  Bitwise-identical to per-row
+    ``prob_interval``: intervals accumulate left-to-right from ``0.0`` and
+    the final clamp is the same ``min(max(total, 0), 1)``.
+    """
+    cdf = _FAMILY_CDF[fam]
+    n = len(params[0])
+    ivs = allowed.intervals
+    if not ivs:
+        return np.zeros(n)
+    if len(ivs) == 1:
+        iv = ivs[0]
+        totals = cdf(params, iv.hi) - cdf(params, iv.lo)
+    else:
+        totals = np.zeros(n)
+        for iv in ivs:
+            totals += cdf(params, iv.hi) - cdf(params, iv.lo)
+    return np.clip(totals, 0.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Histogram pdfs: same-width groups share one bin-mass matrix sweep
+# ---------------------------------------------------------------------------
+#
+# ``HistogramPdf.cdf`` is a per-point bucket lookup plus a linear fraction of
+# the bucket's mass.  For a group of histograms with the same bucket count we
+# stack edges/masses into matrices and replay exactly those operations
+# row-wise: the bucket index comes from counting ``edges <= x`` (identical to
+# ``searchsorted(side="right") - 1``, ties included), the row-wise cumsum
+# equals each row's 1-D cumsum bitwise, and the interval accumulation mirrors
+# the scalar ``total += cdf(hi) - cdf(lo)`` / ``max(total, 0)`` —
+# histograms clamp below only (a partial histogram's mass may be < 1).
+
+
+def _histogram_cdf_rows(
+    edges: np.ndarray, masses: np.ndarray, cum: np.ndarray, rows: np.ndarray, xs: np.ndarray
+) -> np.ndarray:
+    """Row-wise replay of ``HistogramPdf.cdf``: point ``xs[j]`` against row ``rows[j]``."""
+    nb = masses.shape[1]
+    e = edges[rows]
+    idx = (e <= xs[:, None]).sum(axis=1) - 1
+    idx = np.minimum(np.clip(idx, 0, None), nb - 1)
+    take = np.arange(len(rows))
+    left = e[take, idx]
+    width = e[take, idx + 1] - left
+    frac = np.clip((xs - left) / width, 0.0, 1.0)
+    out = cum[rows, idx] + frac * masses[rows, idx]
+    out = np.where(xs <= e[:, 0], 0.0, out)
+    out = np.where(xs >= e[:, -1], cum[rows, -1], out)
+    return out
+
+
+def _histogram_group_probs(
+    pdfs: Sequence[HistogramPdf], alloweds: Sequence[IntervalSet]
+) -> np.ndarray:
+    """``prob_interval`` for same-bucket-count histograms, one matrix sweep."""
+    edges = np.stack([p._edges for p in pdfs])
+    masses = np.stack([p._masses for p in pdfs])
+    cum = np.concatenate(
+        [np.zeros((len(pdfs), 1)), np.cumsum(masses, axis=1)], axis=1
+    )
+    seg: List[int] = []
+    los: List[float] = []
+    his: List[float] = []
+    for k, allowed in enumerate(alloweds):
+        for iv in allowed.intervals:
+            seg.append(k)
+            los.append(iv.lo)
+            his.append(iv.hi)
+    if not seg:
+        return np.zeros(len(pdfs))
+    n_pts = len(seg)
+    seg_arr = np.array(seg, dtype=np.intp)
+    xs = np.empty(2 * n_pts, dtype=float)
+    xs[:n_pts] = los
+    xs[n_pts:] = his
+    vals = _histogram_cdf_rows(
+        edges, masses, cum, np.concatenate([seg_arr, seg_arr]), xs
+    )
+    diffs = vals[n_pts:] - vals[:n_pts]
+    # bincount accumulates from 0.0 in array order — the scalar method's
+    # ``total = 0.0; total += cdf(hi) - cdf(lo)`` exactly.  Histograms clamp
+    # below only: a partial histogram's interval mass may legitimately be < 1.
+    totals = np.bincount(seg_arr, weights=diffs, minlength=len(pdfs))
+    return np.maximum(totals, 0.0)
+
+
+def histogram_interval_probs(
+    pdfs: Sequence[HistogramPdf], alloweds: Sequence[IntervalSet]
+) -> np.ndarray:
+    """``[p.prob_interval(a) for p, a in zip(pdfs, alloweds)]``, vectorized.
+
+    Histograms are grouped by bucket count; each group shares one stacked
+    edge/mass matrix sweep.  Element-wise bitwise-identical to the scalar
+    method.
+    """
+    out = np.empty(len(pdfs), dtype=float)
+    groups: Dict[int, List[int]] = {}
+    for i, p in enumerate(pdfs):
+        groups.setdefault(p.num_buckets, []).append(i)
+    for idxs in groups.values():
+        where = np.array(idxs, dtype=np.intp)
+        out[where] = _histogram_group_probs(
+            [pdfs[i] for i in idxs], [alloweds[i] for i in idxs]
+        )
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -124,21 +395,35 @@ def _poisson_pmf(pdfs: Sequence[PoissonPdf], seg: np.ndarray, xs: np.ndarray) ->
     return np.asarray(stats.poisson.pmf(xs, rates[seg]))
 
 
+def _geometric_support(pdfs: Sequence[GeometricPdf]) -> Tuple[np.ndarray, np.ndarray]:
+    ps = np.array([f._params["p"] for f in pdfs])
+    # Scalar path: support() is (1, inf), truncated at ppf(1 - 1e-12).
+    his = np.asarray(stats.geom.ppf(1.0 - 1e-12, ps))
+    return np.ones(len(pdfs), dtype=np.int64), his.astype(np.int64)
+
+
+def _geometric_pmf(pdfs: Sequence[GeometricPdf], seg: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    ps = np.array([f._params["p"] for f in pdfs])
+    return np.asarray(stats.geom.pmf(xs, ps[seg]))
+
+
 #: family type -> (vectorized support bounds, vectorized pmf over
 #: (pdfs, segment index per value, values))
 DISCRETE_VECTOR_FAMILIES: Dict[type, Tuple[Callable, Callable]] = {
     BernoulliPdf: (_bernoulli_support, _bernoulli_pmf),
     BinomialPdf: (_binomial_support, _binomial_pmf),
     PoissonPdf: (_poisson_support, _poisson_pmf),
+    GeometricPdf: (_geometric_support, _geometric_pmf),
 }
 
 
 def batch_materialize(pdfs: Sequence[SymbolicDiscretePdf]) -> List[DiscretePdf]:
     """``pdf.materialize()`` for each symbolic discrete pdf.
 
-    Registered families (Bernoulli, Binomial, Poisson) share one pmf ufunc
-    sweep over their concatenated integer supports; anything else falls back
-    to the scalar method.  Element-wise bitwise-identical to ``materialize``.
+    Registered families (Bernoulli, Binomial, Poisson, Geometric) share one
+    pmf ufunc sweep over their concatenated integer supports; anything else
+    falls back to the scalar method.  Element-wise bitwise-identical to
+    ``materialize``.
     """
     out: List[DiscretePdf] = [None] * len(pdfs)  # type: ignore[list-item]
     groups: Dict[type, List[int]] = {}
@@ -153,6 +438,19 @@ def batch_materialize(pdfs: Sequence[SymbolicDiscretePdf]) -> List[DiscretePdf]:
         group = [pdfs[i] for i in idxs]
         los, his = support_fn(group)
         counts = (his - los + 1).astype(np.intp)
+        if np.any(counts <= 0):
+            # Degenerate supports (e.g. geom.ppf quirks at p == 1) take the
+            # scalar path so they raise/behave exactly as ``materialize``.
+            bad = [k for k in range(len(group)) if counts[k] <= 0]
+            for k in bad:
+                out[idxs[k]] = group[k].materialize()
+            keep_k = [k for k in range(len(group)) if counts[k] > 0]
+            if not keep_k:
+                continue
+            idxs = [idxs[k] for k in keep_k]
+            group = [group[k] for k in keep_k]
+            los, his = los[keep_k], his[keep_k]
+            counts = counts[keep_k]
         starts = np.zeros(len(group), dtype=np.intp)
         np.cumsum(counts[:-1], out=starts[1:])
         total = int(starts[-1] + counts[-1]) if len(group) else 0
@@ -178,7 +476,7 @@ def kernel_family(pdf: Pdf):
     """The vectorizable family of a (possibly floored) pdf, or ``None``."""
     base = pdf.base if isinstance(pdf, FlooredPdf) else pdf
     t = type(base)
-    if t in VECTOR_FAMILIES or t in DISCRETE_VECTOR_FAMILIES:
+    if t in VECTOR_FAMILIES or t in DISCRETE_VECTOR_FAMILIES or t is HistogramPdf:
         return t
     return None
 
@@ -203,18 +501,22 @@ def batch_interval_probs(
 
     Equals ``[b.prob_interval(a) for b, a in zip(bases, alloweds)]`` bit for
     bit; registered families are computed with one cdf sweep per family,
-    everything else falls back to the scalar method.
+    histograms with one matrix sweep per bucket count, everything else falls
+    back to the scalar method.
     """
     n = len(bases)
     out = np.empty(n, dtype=float)
     groups: Dict[type, List[int]] = {}
     discrete_idx: List[int] = []
+    hist_idx: List[int] = []
     for i, base in enumerate(bases):
         fam = type(base)
         if fam in VECTOR_FAMILIES:
             groups.setdefault(fam, []).append(i)
         elif fam in DISCRETE_VECTOR_FAMILIES:
             discrete_idx.append(i)
+        elif fam is HistogramPdf:
+            hist_idx.append(i)
         else:
             out[i] = _scalar_interval_prob(base, alloweds[i])
     if discrete_idx:
@@ -224,6 +526,10 @@ def batch_interval_probs(
         mats = batch_materialize([bases[i] for i in discrete_idx])
         for mat, i in zip(mats, discrete_idx):
             out[i] = mat.prob_interval(alloweds[i])
+    if hist_idx:
+        out[np.array(hist_idx, dtype=np.intp)] = histogram_interval_probs(
+            [bases[i] for i in hist_idx], [alloweds[i] for i in hist_idx]
+        )
     for fam, idxs in groups.items():
         seg: List[int] = []
         los: List[float] = []
@@ -266,12 +572,15 @@ def batch_mass(pdfs: Sequence[Pdf]) -> np.ndarray:
 
     Floored symbolic pdfs renormalize through :func:`batch_interval_probs`
     (their mass is the base probability of the allowed set); raw registered
-    families have mass exactly 1; everything else uses its scalar ``mass``.
+    symbolic families have mass exactly 1; raw histograms sum their bucket
+    masses in same-width matrix groups (a partial histogram's mass may be
+    < 1, so there is no shortcut); everything else uses its scalar ``mass``.
     """
     out = np.empty(len(pdfs), dtype=float)
     idxs: List[int] = []
     bases: List[UnivariatePdf] = []
     alloweds: List[IntervalSet] = []
+    hist_idx: List[int] = []
     for i, pdf in enumerate(pdfs):
         if isinstance(pdf, FlooredPdf):
             idxs.append(i)
@@ -281,8 +590,19 @@ def batch_mass(pdfs: Sequence[Pdf]) -> np.ndarray:
             # Raw symbolic families (continuous and discrete) have mass
             # exactly 1 by construction.
             out[i] = 1.0
+        elif type(pdf) is HistogramPdf:
+            hist_idx.append(i)
         else:
             out[i] = pdf.mass()
+    if hist_idx:
+        by_width: Dict[int, List[int]] = {}
+        for i in hist_idx:
+            by_width.setdefault(pdfs[i].num_buckets, []).append(i)
+        for group in by_width.values():
+            stacked = np.stack([pdfs[i]._masses for i in group])
+            # Row-wise sum of a stacked matrix equals each row's own 1-D
+            # ``masses.sum()`` bitwise (same pairwise summation per row).
+            out[np.array(group, dtype=np.intp)] = stacked.sum(axis=1)
     if idxs:
         out[np.array(idxs, dtype=np.intp)] = batch_interval_probs(bases, alloweds)
     return out

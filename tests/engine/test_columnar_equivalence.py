@@ -1,0 +1,301 @@
+"""Columnar struct-of-arrays execution ≡ batched ≡ scalar ≡ parallel.
+
+The columnar path decodes scans into per-family parameter arrays and sweeps
+selection and PROB thresholds with fused ufunc kernels
+(:mod:`repro.core.columnar`, ``SelectionPlan.apply_columnar``).  These tests
+pin the acceptance criterion of the columnar work: for relations spanning
+every symbolic family, histogram pdfs, explicit discrete pdfs, floored
+partials, and NULLs, all four execution modes produce bitwise-identical
+tuples in identical order — same ids, same certain values, same pdfs, same
+masses.  Also covered: the EXPLAIN ANALYZE columnar counters, the
+relation-level segment cache invalidation, and the pickle boundary of
+:class:`ColumnarBatch`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Column,
+    DataType,
+    ProbabilisticRelation,
+    ProbabilisticSchema,
+)
+from repro.core.model import ModelConfig
+from repro.core.operations import PDF_OP_CACHE
+from repro.core.predicates import And, Comparison
+from repro.engine.executor import (
+    Filter,
+    ProbFilter,
+    Project,
+    RelationScan,
+    ThresholdFilter,
+)
+from repro.engine.executor.batch import TupleBatch
+from repro.engine.executor.columnar import ColumnarBatch
+from repro.engine.sql.planner import execute_plan
+from repro.pdf import (
+    BernoulliPdf,
+    BetaPdf,
+    BinomialPdf,
+    BoxRegion,
+    DiscretePdf,
+    ExponentialPdf,
+    GammaPdf,
+    GaussianPdf,
+    GeometricPdf,
+    HistogramPdf,
+    Interval,
+    IntervalSet,
+    LognormalPdf,
+    PoissonPdf,
+    TriangularPdf,
+    UniformPdf,
+    WeibullPdf,
+)
+
+BATCH_SIZES = (1, 3, 7, 64)
+
+
+def _schema():
+    return ProbabilisticSchema(
+        [Column("sid", DataType.INT), Column("v", DataType.REAL)], [{"v"}]
+    )
+
+
+def _pdf_for(i: int):
+    """Deterministic all-families rotation, including edge shapes."""
+    kind = i % 16
+    if kind == 0:
+        return GaussianPdf(i % 11, 1.0 + (i % 3), attr="v")
+    if kind == 1:
+        return UniformPdf(i % 7, i % 7 + 4.0, attr="v")
+    if kind == 2:
+        return ExponentialPdf(0.3 + (i % 5) / 5.0, attr="v")
+    if kind == 3:
+        lo = float(i % 5)
+        return TriangularPdf(lo, lo + 1.5, lo + 4.0, attr="v")
+    if kind == 4:
+        return GammaPdf(1.0 + (i % 4), 0.5 + (i % 3) / 2.0, attr="v")
+    if kind == 5:
+        return LognormalPdf((i % 5) / 2.0, 0.3 + (i % 3) / 4.0, attr="v")
+    if kind == 6:
+        return BetaPdf(1.0 + (i % 4), 1.0 + ((i + 1) % 4), attr="v")
+    if kind == 7:
+        return WeibullPdf(0.8 + (i % 3), 2.0 + (i % 4), attr="v")
+    if kind == 8:
+        return BernoulliPdf(0.1 + (i % 8) / 10.0, attr="v")
+    if kind == 9:
+        return BinomialPdf(4 + (i % 9), 0.2 + (i % 6) / 10.0, attr="v")
+    if kind == 10:
+        return PoissonPdf(1.0 + (i % 7), attr="v")
+    if kind == 11:
+        return GeometricPdf(0.15 + (i % 7) / 10.0, attr="v")
+    if kind == 12:
+        return HistogramPdf(
+            [float(i % 4), i % 4 + 2.0, i % 4 + 3.0, i % 4 + 6.0],
+            [0.2, 0.5, 0.3],
+            attr="v",
+        )
+    if kind == 13:
+        return DiscretePdf({float(i % 5): 0.25, i % 5 + 2.0: 0.75}, attr="v")
+    if kind == 14:
+        # Floored partial: the columnar path must fall back per-row here.
+        g = GaussianPdf(i % 9, 2.0, attr="v")
+        return g.restrict(
+            BoxRegion({"v": IntervalSet([Interval(float(i % 3), float("inf"))])})
+        )
+    return None  # NULL pdf
+
+
+def _all_families_relation(n=64):
+    rel = ProbabilisticRelation(_schema(), name="zoo")
+    for i in range(n):
+        rel.insert(certain={"sid": i}, uncertain={"v": _pdf_for(i)})
+    return rel
+
+
+def _assert_bitwise_equal(expected, actual):
+    """Tuples equal down to the bit: ids, certain, pdfs, masses, order."""
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert a.tuple_id == b.tuple_id
+        assert a.certain == b.certain
+        assert set(a.pdfs) == set(b.pdfs)
+        assert set(a.lineage) == set(b.lineage)
+        for dep, pa in a.pdfs.items():
+            pb = b.pdfs[dep]
+            if pa is None:
+                assert pb is None
+                continue
+            assert type(pa) is type(pb)
+            assert pa.attrs == pb.attrs
+            assert pa == pb
+            assert pa.mass() == pb.mass()  # bitwise, no tolerance
+
+
+def _four_ways(make_plan, parallel_columnar=True):
+    """Rows from scalar, legacy-batched, columnar, and parallel execution."""
+    PDF_OP_CACHE.reset()
+    scalar = list(make_plan(False))
+    modes = {}
+    for size in BATCH_SIZES:
+        PDF_OP_CACHE.reset()
+        modes[("batched", size)] = [
+            t for b in make_plan(False).batches(size) for t in b.tuples
+        ]
+        PDF_OP_CACHE.reset()
+        modes[("columnar", size)] = [
+            t for b in make_plan(True).batches(size) for t in b.tuples
+        ]
+    PDF_OP_CACHE.reset()
+    modes[("parallel", 16)] = execute_plan(
+        make_plan(parallel_columnar),
+        ModelConfig(
+            workers=2, morsel_size=9, batch_size=16, columnar=parallel_columnar
+        ),
+    )
+    return scalar, modes
+
+
+PRED = And([Comparison("v", ">", 2.0), Comparison("v", "<", 7.5)])
+
+
+def test_filter_columnar_equivalence_all_families():
+    rel = _all_families_relation()
+
+    def make_plan(columnar):
+        cfg = ModelConfig(columnar=columnar)
+        return Filter(RelationScan(rel, columnar=columnar), PRED, rel.store, cfg)
+
+    scalar, modes = _four_ways(make_plan)
+    assert len(scalar) > 0
+    for rows in modes.values():
+        _assert_bitwise_equal(scalar, rows)
+
+
+def test_threshold_filter_columnar_equivalence_all_families():
+    rel = _all_families_relation()
+
+    def make_plan(columnar):
+        cfg = ModelConfig(columnar=columnar)
+        return ThresholdFilter(
+            RelationScan(rel, columnar=columnar), ["v"], ">", 0.3, rel.store, cfg
+        )
+
+    scalar, modes = _four_ways(make_plan)
+    for rows in modes.values():
+        _assert_bitwise_equal(scalar, rows)
+
+
+def test_prob_filter_columnar_equivalence_all_families():
+    rel = _all_families_relation()
+
+    def make_plan(columnar):
+        cfg = ModelConfig(columnar=columnar)
+        return ProbFilter(
+            RelationScan(rel, columnar=columnar),
+            Comparison("v", ">", 3.0),
+            ">",
+            0.25,
+            rel.store,
+            cfg,
+        )
+
+    scalar, modes = _four_ways(make_plan)
+    for rows in modes.values():
+        _assert_bitwise_equal(scalar, rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kinds=st.lists(st.integers(0, 15), min_size=0, max_size=24),
+    lo=st.floats(-2, 8),
+    width=st.floats(0.5, 8),
+    size=st.sampled_from(BATCH_SIZES),
+)
+def test_filter_columnar_equivalence_property(kinds, lo, width, size):
+    rel = ProbabilisticRelation(_schema(), name="r")
+    for i, kind in enumerate(kinds):
+        rel.insert(certain={"sid": i}, uncertain={"v": _pdf_for(kind)})
+    pred = And([Comparison("v", ">", lo), Comparison("v", "<", lo + width)])
+
+    def make_plan(columnar):
+        cfg = ModelConfig(columnar=columnar)
+        return Filter(RelationScan(rel, columnar=columnar), pred, rel.store, cfg)
+
+    PDF_OP_CACHE.reset()
+    scalar = list(make_plan(False))
+    PDF_OP_CACHE.reset()
+    columnar_rows = [t for b in make_plan(True).batches(size) for t in b.tuples]
+    _assert_bitwise_equal(scalar, columnar_rows)
+
+
+def test_explain_analyze_reports_columnar_stats():
+    rel = _all_families_relation()
+    cfg = ModelConfig(columnar=True)
+    plan = Filter(RelationScan(rel, columnar=True), PRED, rel.store, cfg)
+    for _ in plan.batches(16):
+        pass
+    text = plan.explain()
+    assert "columnar_batches=" in text
+    assert "columnar_rows=" in text
+    assert "kernels=" in text
+    assert "GaussianPdf" in text
+
+
+def test_columnar_switch_off_yields_plain_batches():
+    rel = _all_families_relation(16)
+    for batch in RelationScan(rel, columnar=False).batches(8):
+        assert type(batch) is TupleBatch
+    for batch in RelationScan(rel, columnar=True).batches(8):
+        assert type(batch) is ColumnarBatch
+
+
+def test_project_identity_preserves_columnar_batches():
+    rel = _all_families_relation(16)
+    plan = Project(RelationScan(rel, columnar=True), ["sid", "v"])
+    batches = list(plan.batches(8))
+    assert all(type(b) is ColumnarBatch for b in batches)
+    assert [t.tuple_id for b in batches for t in b.tuples] == [
+        t.tuple_id for t in rel.tuples
+    ]
+
+
+def test_segment_cache_invalidated_on_mutation():
+    rel = _all_families_relation(8)
+    seg = rel.columnar_segment()
+    assert rel.columnar_segment() is seg  # cached
+    rel.insert(certain={"sid": 99}, uncertain={"v": GaussianPdf(0, 1, attr="v")})
+    seg2 = rel.columnar_segment()
+    assert seg2 is not seg
+    assert seg2.n == len(rel.tuples)
+    # Scans after the mutation see the new row.
+    rows = [t for b in RelationScan(rel, columnar=True).batches(4) for t in b.tuples]
+    assert rows[-1].certain["sid"] == 99
+
+
+def test_columnar_batch_pickles_to_plain_batch():
+    rel = _all_families_relation(32)
+    (batch,) = list(RelationScan(rel, columnar=True).batches(64))
+    assert type(batch) is ColumnarBatch
+    assert batch.attr_column(frozenset({"v"})) is not None
+    clone = pickle.loads(pickle.dumps(batch))
+    assert type(clone) is TupleBatch
+    _assert_bitwise_equal(batch.tuples, clone.tuples)
+
+
+def test_stale_segment_falls_back_to_none():
+    """A batch whose cached segment no longer matches returns None from
+    attr_column, forcing callers onto the reference path."""
+    rel = _all_families_relation(8)
+    (batch,) = list(RelationScan(rel, columnar=True).batches(16))
+    seg = batch.segment
+    assert seg is not None
+    # Shrink the snapshot under the batch: offset+len now exceeds seg.n.
+    batch.offset = seg.n - len(batch.tuples) + 1
+    assert batch.attr_column(frozenset({"v"})) is None

@@ -6,14 +6,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.pdf import (
+    BetaPdf,
     DiscretePdf,
     ExponentialPdf,
     FlooredPdf,
+    GammaPdf,
     GaussianPdf,
+    GeometricPdf,
     HistogramPdf,
     Interval,
     IntervalSet,
+    LognormalPdf,
+    TriangularPdf,
     UniformPdf,
+    WeibullPdf,
 )
 from repro.pdf import kernels
 
@@ -39,6 +45,12 @@ def _family_zoo():
         pdfs.append(GaussianPdf(float(rng.normal()), float(0.3 + rng.random())))
         pdfs.append(UniformPdf(float(-2 + rng.random()), float(1 + rng.random())))
         pdfs.append(ExponentialPdf(float(0.2 + rng.random())))
+        lo = float(-2 + rng.random())
+        pdfs.append(TriangularPdf(lo, lo + 0.5 + rng.random(), lo + 2 + rng.random()))
+        pdfs.append(GammaPdf(float(0.5 + 3 * rng.random()), float(0.3 + rng.random())))
+        pdfs.append(LognormalPdf(float(rng.normal()), float(0.2 + rng.random())))
+        pdfs.append(BetaPdf(float(0.5 + 3 * rng.random()), float(0.5 + 3 * rng.random())))
+        pdfs.append(WeibullPdf(float(0.5 + 2 * rng.random()), float(0.3 + 2 * rng.random())))
     return pdfs
 
 
@@ -196,3 +208,206 @@ def test_poisson_batch_materialize_property(rate):
     ref = pdf.materialize()
     np.testing.assert_array_equal(mat.values, ref.values)
     np.testing.assert_array_equal(mat.probs, ref.probs)
+
+
+# ---------------------------------------------------------------------------
+# Newly-kernelized continuous families: hypothesis equivalence vs scalar
+# ---------------------------------------------------------------------------
+
+
+def _assert_kernel_matches_scalar(pdf, lo, width):
+    """batch_interval_probs and interval_probs_params vs scalar, bitwise."""
+    allowed = IntervalSet([Interval(lo, lo + width)])
+    expected = float(pdf.prob_interval(allowed))
+    vec = kernels.batch_interval_probs([pdf, pdf], [allowed, allowed])
+    assert vec[0] == expected
+    assert vec[1] == expected
+    fam = type(pdf)
+    params = kernels.FAMILY_PARAMS[fam]([pdf])
+    direct = kernels.interval_probs_params(fam, params, allowed)
+    assert direct[0] == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lo=st.floats(-50, 50),
+    mode_off=st.floats(0.01, 20),
+    hi_off=st.floats(0.01, 20),
+    qlo=st.floats(-80, 80),
+    width=st.floats(0, 100),
+)
+def test_triangular_kernel_property(lo, mode_off, hi_off, qlo, width):
+    pdf = TriangularPdf(lo, lo + mode_off, lo + mode_off + hi_off)
+    _assert_kernel_matches_scalar(pdf, qlo, width)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shape=st.floats(0.05, 20),
+    rate=st.floats(0.05, 20),
+    qlo=st.floats(-5, 50),
+    width=st.floats(0, 60),
+)
+def test_gamma_kernel_property(shape, rate, qlo, width):
+    _assert_kernel_matches_scalar(GammaPdf(shape, rate), qlo, width)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mu=st.floats(-3, 3),
+    sigma=st.floats(0.05, 3),
+    qlo=st.floats(-2, 40),
+    width=st.floats(0, 60),
+)
+def test_lognormal_kernel_property(mu, sigma, qlo, width):
+    _assert_kernel_matches_scalar(LognormalPdf(mu, sigma), qlo, width)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    alpha=st.floats(0.1, 20),
+    beta=st.floats(0.1, 20),
+    qlo=st.floats(-0.5, 1.5),
+    width=st.floats(0, 2),
+)
+def test_beta_kernel_property(alpha, beta, qlo, width):
+    _assert_kernel_matches_scalar(BetaPdf(alpha, beta), qlo, width)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shape=st.floats(0.2, 10),
+    scale=st.floats(0.05, 20),
+    qlo=st.floats(-5, 50),
+    width=st.floats(0, 60),
+)
+def test_weibull_kernel_property(shape, scale, qlo, width):
+    _assert_kernel_matches_scalar(WeibullPdf(shape, scale), qlo, width)
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=st.floats(0.01, 0.99), qlo=st.floats(-2, 40), width=st.floats(0, 50))
+def test_geometric_kernel_property(p, qlo, width):
+    pdf = GeometricPdf(p)
+    allowed = IntervalSet([Interval(qlo, qlo + width)])
+    vec = kernels.batch_interval_probs([pdf, pdf], [allowed, allowed])
+    expected = float(pdf.prob_interval(allowed))
+    assert vec[0] == expected
+    assert vec[1] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=st.floats(0.01, 0.99))
+def test_geometric_batch_materialize_property(p):
+    pdf = GeometricPdf(p)
+    (mat,) = kernels.batch_materialize([pdf])
+    ref = pdf.materialize()
+    np.testing.assert_array_equal(mat.values, ref.values)
+    np.testing.assert_array_equal(mat.probs, ref.probs)
+
+
+def test_geometric_degenerate_p_one_raises_identically():
+    """GeometricPdf(1.0) has a degenerate scipy support (ppf underflows to
+    an empty value range); the scalar and batch paths must fail the same
+    way rather than the kernel silently diverging."""
+    import warnings
+
+    from repro.errors import InvalidDistributionError
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with pytest.raises(InvalidDistributionError):
+            GeometricPdf(1.0).materialize()
+        with pytest.raises(InvalidDistributionError):
+            kernels.batch_materialize([GeometricPdf(1.0)])
+
+
+def test_new_families_in_vector_registry():
+    for fam in (TriangularPdf, GammaPdf, LognormalPdf, BetaPdf, WeibullPdf):
+        assert fam in kernels.VECTOR_FAMILIES
+        assert fam in kernels.FAMILY_PARAMS
+    assert GeometricPdf in kernels.DISCRETE_VECTOR_FAMILIES
+
+
+# ---------------------------------------------------------------------------
+# Histogram vector path
+# ---------------------------------------------------------------------------
+
+
+def _histogram_zoo():
+    rng = np.random.default_rng(23)
+    pdfs = []
+    for buckets in (1, 2, 5, 5, 8):  # repeated counts exercise the grouping
+        edges = np.sort(rng.uniform(-5, 5, buckets + 1))
+        while np.any(np.diff(edges) <= 0):
+            edges = np.sort(rng.uniform(-5, 5, buckets + 1))
+        masses = rng.random(buckets)
+        masses = masses / masses.sum()
+        pdfs.append(HistogramPdf(edges.tolist(), masses.tolist()))
+    return pdfs
+
+
+class TestHistogramKernel:
+    def test_matches_scalar_bitwise(self):
+        sets = _interval_sets()
+        pdfs = _histogram_zoo() * 2
+        alloweds = [sets[i % len(sets)] for i in range(len(pdfs))]
+        vec = kernels.batch_interval_probs(pdfs, alloweds)
+        for i, (p, a) in enumerate(zip(pdfs, alloweds)):
+            assert vec[i] == p.prob_interval(a), (repr(p), a)
+
+    def test_histogram_interval_probs_direct(self):
+        pdfs = _histogram_zoo()
+        alloweds = [IntervalSet([Interval(-1.0, 2.0)])] * len(pdfs)
+        vec = kernels.histogram_interval_probs(pdfs, alloweds)
+        for i, (p, a) in enumerate(zip(pdfs, alloweds)):
+            assert vec[i] == p.prob_interval(a)
+
+    def test_mixed_with_symbolic_families(self):
+        sets = _interval_sets()
+        pdfs = _histogram_zoo() + _family_zoo()[:10] + _discrete_zoo()[:6]
+        alloweds = [sets[i % len(sets)] for i in range(len(pdfs))]
+        vec = kernels.batch_interval_probs(pdfs, alloweds)
+        for i, (p, a) in enumerate(zip(pdfs, alloweds)):
+            assert vec[i] == p.prob_interval(a), (repr(p), a)
+
+    def test_batch_mass_histograms(self):
+        pdfs = _histogram_zoo()
+        floors = [
+            FlooredPdf(p, IntervalSet([Interval(-1.0, 1.5)])) for p in pdfs
+        ]
+        vec = kernels.batch_mass(pdfs + floors)
+        for i, p in enumerate(pdfs + floors):
+            assert vec[i] == p.mass(), repr(p)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    buckets=st.integers(1, 10),
+    qlo=st.floats(-10, 10),
+    width=st.floats(0, 15),
+)
+def test_histogram_kernel_property(data, buckets, qlo, width):
+    cuts = data.draw(
+        st.lists(
+            st.floats(-8, 8, allow_nan=False),
+            min_size=buckets + 1,
+            max_size=buckets + 1,
+            unique=True,
+        )
+    )
+    edges = sorted(cuts)
+    masses = data.draw(
+        st.lists(
+            st.floats(0.01, 1.0), min_size=buckets, max_size=buckets
+        )
+    )
+    total = sum(masses)
+    masses = [m / total for m in masses]
+    pdf = HistogramPdf(edges, masses)
+    allowed = IntervalSet([Interval(qlo, qlo + width)])
+    vec = kernels.batch_interval_probs([pdf, pdf], [allowed, allowed])
+    expected = float(pdf.prob_interval(allowed))
+    assert vec[0] == expected
+    assert vec[1] == expected

@@ -22,11 +22,17 @@ from repro.core.operations import product
 from repro.core.threshold import batch_probability_of, probability_of
 from repro.engine.database import Database
 from repro.pdf import (
+    BetaPdf,
     BoxRegion,
     DiscretePdf,
+    GammaPdf,
     GaussianPdf,
+    HistogramPdf,
     IntervalSet,
+    LognormalPdf,
+    TriangularPdf,
     UniformPdf,
+    WeibullPdf,
 )
 from repro.pdf.kernels import batch_interval_probs, batch_mass
 
@@ -36,6 +42,14 @@ ZERO_FLOORS = [
     (UniformPdf(0, 10), IntervalSet.less_than(-5)),
     (GaussianPdf(0, 1), IntervalSet.less_than(-600)),  # cdf underflows to 0.0
     (DiscretePdf({1: 0.5, 2: 0.5}), IntervalSet.between(3, 4)),
+    # Newly-kernelized families floored entirely outside their supports.
+    (TriangularPdf(0, 1, 2), IntervalSet.greater_than(5)),
+    (TriangularPdf(0, 1, 2), IntervalSet.less_than(-1)),
+    (GammaPdf(2, 1), IntervalSet.less_than(-0.5)),
+    (LognormalPdf(0, 1), IntervalSet.less_than(0)),
+    (BetaPdf(2, 3), IntervalSet.greater_than(2)),
+    (WeibullPdf(1.5, 1), IntervalSet.less_than(-3)),
+    (HistogramPdf([0.0, 1.0, 2.0], [0.5, 0.5]), IntervalSet.between(10, 20)),
 ]
 
 NEAR_ZERO_FLOORS = [
@@ -43,6 +57,10 @@ NEAR_ZERO_FLOORS = [
     (GaussianPdf(100, 0.1), IntervalSet.greater_than(104)),
     (UniformPdf(0, 1), IntervalSet.between(0, 1e-300)),
     (DiscretePdf({1: 1e-12, 2: 1.0 - 1e-12}), IntervalSet.point(1)),
+    (GammaPdf(2, 1), IntervalSet.greater_than(60)),
+    (WeibullPdf(1.5, 1), IntervalSet.greater_than(30)),
+    (LognormalPdf(0, 0.5), IntervalSet.greater_than(1e6)),
+    (BetaPdf(2, 2), IntervalSet.between(0, 1e-8)),
 ]
 
 
