@@ -23,8 +23,14 @@ from repro.bench.protocol import pdf_cache_stats
 from repro.core import Column, DataType, ProbabilisticRelation, ProbabilisticSchema
 from repro.core.model import ModelConfig
 from repro.core.operations import PDF_OP_CACHE
-from repro.core.predicates import And, Comparison
-from repro.engine.executor import Filter, RelationScan
+from repro.core.predicates import And, Comparison, col
+from repro.engine.executor import (
+    AggSpec,
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    RelationScan,
+)
 from repro.engine.index.btree import BPlusTree
 from repro.engine.storage.buffer import BufferPool
 from repro.engine.storage.disk import MemoryDisk
@@ -292,3 +298,119 @@ def bench_batch_pipeline_sweep(benchmark, capsys):
     assert max(col) >= COLUMNAR_BAR, (
         f"columnar >=256 speedups {col} below the {COLUMNAR_BAR}x bar"
     )
+
+
+# ---------------------------------------------------------------------------
+# Join / aggregate operator timings (columnar vs reference, fixed batch 256)
+# ---------------------------------------------------------------------------
+
+_JOIN_N = 2000
+
+
+def _join_operands():
+    """Readings (uncertain temp, certain site key) plus a certain dimension."""
+    store = HistoryStore()
+    rng = random.Random(13)
+    readings = ProbabilisticRelation(
+        ProbabilisticSchema(
+            [
+                Column("rid", DataType.INT),
+                Column("site", DataType.INT),
+                Column("temp", DataType.REAL),
+            ],
+            [{"temp"}],
+        ),
+        store=store,
+        name="readings",
+    )
+    for i in range(_JOIN_N):
+        readings.insert(
+            certain={"rid": i, "site": i % 64},
+            uncertain={
+                "temp": GaussianPdf(
+                    rng.uniform(10, 30), rng.uniform(0.5, 4.0), attr="temp"
+                )
+            },
+        )
+    sites = ProbabilisticRelation(
+        ProbabilisticSchema(
+            [Column("site_id", DataType.INT), Column("region", DataType.INT)]
+        ),
+        store=store,
+        name="sites",
+    )
+    for s in range(64):
+        sites.insert(certain={"site_id": s, "region": s % 8})
+    return store, readings, sites
+
+
+def _hash_join(store, readings, sites, columnar):
+    cfg = ModelConfig(columnar=columnar)
+    return HashJoin(
+        RelationScan(readings, columnar=columnar),
+        RelationScan(sites, columnar=columnar),
+        "site",
+        "site_id",
+        Comparison("site", "=", col("site_id")),
+        store,
+        cfg,
+    )
+
+
+def bench_hash_join_columnar(benchmark):
+    """Vectorized searchsorted probe + block id allocation, batch 256."""
+    store, readings, sites = _join_operands()
+
+    def run():
+        op = _hash_join(store, readings, sites, columnar=True)
+        return sum(len(b.tuples) for b in op.batches(256))
+
+    assert run() == _JOIN_N
+    benchmark.pedantic(run, rounds=3)
+
+
+def bench_hash_join_reference(benchmark):
+    """Tuple-at-a-time dict-bucket probe (the scalar baseline)."""
+    store, readings, sites = _join_operands()
+
+    def run():
+        return sum(1 for _ in _hash_join(store, readings, sites, columnar=False))
+
+    assert run() == _JOIN_N
+    benchmark.pedantic(run, rounds=3)
+
+
+def bench_group_aggregate_columnar(benchmark):
+    """np.unique grouping + vectorized COUNT/EXPECTED over the joined stream."""
+    store, readings, sites = _join_operands()
+
+    def run():
+        op = GroupAggregate(
+            _hash_join(store, readings, sites, columnar=True),
+            ["region"],
+            [AggSpec("count"), AggSpec("expected", "temp")],
+            store,
+            ModelConfig(columnar=True),
+        )
+        return sum(len(b.tuples) for b in op.batches(256))
+
+    assert run() == 8
+    benchmark.pedantic(run, rounds=3)
+
+
+def bench_group_aggregate_reference(benchmark):
+    """Per-tuple grouping and probability evaluation (the scalar baseline)."""
+    store, readings, sites = _join_operands()
+
+    def run():
+        op = GroupAggregate(
+            _hash_join(store, readings, sites, columnar=False),
+            ["region"],
+            [AggSpec("count"), AggSpec("expected", "temp")],
+            store,
+            ModelConfig(columnar=False),
+        )
+        return sum(1 for _ in op)
+
+    assert run() == 8
+    benchmark.pedantic(run, rounds=3)

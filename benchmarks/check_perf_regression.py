@@ -1,8 +1,9 @@
-"""Perf-regression guard over the committed ``BENCH_engine.json``.
+"""Perf-regression guard over the committed benchmark reports.
 
-Compares the batch-256 columnar speedup of the current report against the
+Compares the batch-256 columnar speedup of each current report
+(``BENCH_engine.json`` and ``BENCH_join.json`` by default) against the
 value committed at a baseline git ref (default ``HEAD``), with a slack
-factor absorbing machine noise.  Run it after regenerating the report and
+factor absorbing machine noise.  Run it after regenerating the reports and
 before committing::
 
     python benchmarks/check_perf_regression.py --baseline-ref HEAD
@@ -16,6 +17,9 @@ prints a note — the absolute ``--min-speedup`` floor still applies.
 Baselines written before the columnar path existed lack the ``columnar``
 variant field; the guard falls back to the plain batch-256 speedup of that
 era so the comparison stays meaningful across the schema change.
+
+``--report`` may be repeated to guard a custom set of reports; every named
+report must exist and pass for the guard to exit 0.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DEFAULT_REPORTS = ["BENCH_engine.json", "BENCH_join.json"]
 
 
 def batch256_speedup(report: dict) -> float:
@@ -56,56 +62,82 @@ def load_baseline(ref: str, name: str) -> dict | None:
         return None
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--report", default="BENCH_engine.json", help="current report path, relative to the repo root")
-    ap.add_argument("--baseline-ref", default="HEAD", help="git ref holding the previous committed report")
-    ap.add_argument("--slack", type=float, default=0.75, help="tolerated fraction of the baseline speedup")
-    ap.add_argument("--min-speedup", type=float, default=None, help="absolute floor on the batch-256 speedup")
-    args = ap.parse_args(argv)
-
-    report_path = REPO_ROOT / args.report
+def check_report(
+    name: str,
+    baseline_ref: str,
+    slack: float,
+    min_speedup: float | None,
+) -> int:
+    report_path = REPO_ROOT / name
     if not report_path.exists():
-        print(f"perf guard: {args.report} not found", file=sys.stderr)
+        print(f"perf guard: {name} not found", file=sys.stderr)
         return 1
     report = json.loads(report_path.read_text())
     current = batch256_speedup(report)
-    print(f"perf guard: current batch-256 speedup {current:.2f}x (tuples={report.get('tuples')})")
+    print(
+        f"perf guard [{name}]: current batch-256 speedup {current:.2f}x "
+        f"(tuples={report.get('tuples')})"
+    )
 
-    if args.min_speedup is not None and current < args.min_speedup:
+    if min_speedup is not None and current < min_speedup:
         print(
-            f"perf guard: FAIL — {current:.2f}x below the absolute floor "
-            f"{args.min_speedup:.2f}x",
+            f"perf guard [{name}]: FAIL — {current:.2f}x below the absolute "
+            f"floor {min_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1
 
-    baseline = load_baseline(args.baseline_ref, args.report)
+    baseline = load_baseline(baseline_ref, name)
     if baseline is None:
-        print(f"perf guard: no baseline at {args.baseline_ref}:{args.report}; skipping comparison")
+        print(
+            f"perf guard [{name}]: no baseline at {baseline_ref}:{name}; "
+            "skipping comparison"
+        )
         return 0
     if baseline.get("tuples") != report.get("tuples"):
         print(
-            "perf guard: baseline measured at tuples="
+            f"perf guard [{name}]: baseline measured at tuples="
             f"{baseline.get('tuples')}, report at tuples={report.get('tuples')}; "
             "skipping comparison (speedups are not comparable across N)"
         )
         return 0
 
     previous = batch256_speedup(baseline)
-    floor = args.slack * previous
+    floor = slack * previous
     print(
-        f"perf guard: baseline {previous:.2f}x at {args.baseline_ref}, "
-        f"floor {floor:.2f}x (slack {args.slack})"
+        f"perf guard [{name}]: baseline {previous:.2f}x at {baseline_ref}, "
+        f"floor {floor:.2f}x (slack {slack})"
     )
     if current < floor:
         print(
-            f"perf guard: FAIL — batch-256 speedup regressed {previous:.2f}x -> {current:.2f}x",
+            f"perf guard [{name}]: FAIL — batch-256 speedup regressed "
+            f"{previous:.2f}x -> {current:.2f}x",
             file=sys.stderr,
         )
         return 1
-    print("perf guard: OK")
+    print(f"perf guard [{name}]: OK")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--report",
+        action="append",
+        default=None,
+        help="report path relative to the repo root (repeatable; defaults to "
+        + " and ".join(DEFAULT_REPORTS) + ")",
+    )
+    ap.add_argument("--baseline-ref", default="HEAD", help="git ref holding the previous committed report")
+    ap.add_argument("--slack", type=float, default=0.75, help="tolerated fraction of the baseline speedup")
+    ap.add_argument("--min-speedup", type=float, default=None, help="absolute floor on the batch-256 speedup")
+    args = ap.parse_args(argv)
+
+    reports = args.report if args.report else DEFAULT_REPORTS
+    status = 0
+    for name in reports:
+        status |= check_report(name, args.baseline_ref, args.slack, args.min_speedup)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,197 @@
+"""Arithmetic expressions over certain columns.
+
+The engine's ``Compute`` operator evaluates scalar arithmetic —
+``a + b * 2`` — over the *certain* part of each tuple, appending the result
+as a new certain REAL column.  Uncertain attributes are out of scope here
+(arithmetic over pdfs lives in :mod:`repro.pdf.arithmetic`); referencing one
+is a schema error caught at plan time.
+
+Two evaluators share one semantics:
+
+* :meth:`Expr.evaluate` — per-tuple, over a certain-value dict,
+* :meth:`Expr.evaluate_vector` — whole-column, over ``(values, null_mask)``
+  float64 vectors from a :class:`~repro.core.columnar.ColumnarSegment`.
+
+Both compute in IEEE float64 (the scalar path coerces operands with
+``float``; ufuncs run the same hardware ops), so their results are bitwise
+identical.  NULL semantics follow SQL: any NULL operand yields NULL, and
+division by zero yields NULL rather than raising — the mask is the single
+source of truth, so the vector path never has to reproduce a raised
+``ZeroDivisionError`` cell by cell.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import QueryError
+
+__all__ = ["Expr", "ColExpr", "ConstExpr", "BinExpr", "as_expr"]
+
+_BIN_OPS: dict = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expr:
+    """Base class: a float64 expression over certain attributes."""
+
+    def attrs(self) -> FrozenSet[str]:
+        """Every certain column the expression reads."""
+        raise NotImplementedError
+
+    def evaluate(self, certain: Mapping[str, object]) -> Optional[float]:
+        """Scalar evaluation against one tuple's certain dict.
+
+        Returns ``None`` for NULL (missing/None operand, division by
+        zero).  Raises ``TypeError``/``ValueError`` on non-numeric values —
+        the same rows the columnar gather rejects, so both paths agree on
+        which inputs are errors.
+        """
+        raise NotImplementedError
+
+    def evaluate_vector(
+        self, getcol: Callable[[str], Optional[Tuple[np.ndarray, np.ndarray]]]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Vector evaluation: ``(values, null_mask)`` or ``None``.
+
+        ``getcol`` maps an attribute to its ``(values, null_mask)`` column
+        or ``None`` when no float64 view exists; any ``None`` column makes
+        the whole expression non-vectorizable (the caller falls back to
+        :meth:`evaluate` per row).
+        """
+        raise NotImplementedError
+
+    # sugar so plans/tests can write ``col_expr("a") + 2``
+    def __add__(self, other) -> "BinExpr":
+        return BinExpr("+", self, as_expr(other))
+
+    def __sub__(self, other) -> "BinExpr":
+        return BinExpr("-", self, as_expr(other))
+
+    def __mul__(self, other) -> "BinExpr":
+        return BinExpr("*", self, as_expr(other))
+
+    def __truediv__(self, other) -> "BinExpr":
+        return BinExpr("/", self, as_expr(other))
+
+
+def as_expr(value: Union["Expr", int, float]) -> "Expr":
+    """Coerce a Python number to a :class:`ConstExpr` (identity on exprs)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"cannot use {value!r} in an arithmetic expression")
+    return ConstExpr(float(value))
+
+
+@dataclass(frozen=True)
+class ColExpr(Expr):
+    """A reference to a certain column."""
+
+    name: str
+
+    def attrs(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, certain: Mapping[str, object]) -> Optional[float]:
+        v = certain.get(self.name)
+        return None if v is None else float(v)
+
+    def evaluate_vector(self, getcol):
+        col = getcol(self.name)
+        if col is None:
+            return None
+        return col  # already (float64 values, null mask)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstExpr(Expr):
+    """A float literal."""
+
+    value: float
+
+    def attrs(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, certain: Mapping[str, object]) -> Optional[float]:
+        return self.value
+
+    def evaluate_vector(self, getcol):
+        # Scalars broadcast through the ufunc sweep; no per-row array needed.
+        return np.float64(self.value), False
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    """``left op right`` for ``op`` in ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise QueryError(
+                f"unknown arithmetic operator {self.op!r}; use one of "
+                f"{sorted(_BIN_OPS)}"
+            )
+
+    def attrs(self) -> FrozenSet[str]:
+        return self.left.attrs() | self.right.attrs()
+
+    def evaluate(self, certain: Mapping[str, object]) -> Optional[float]:
+        a = self.left.evaluate(certain)
+        if a is None:
+            return None
+        b = self.right.evaluate(certain)
+        if b is None:
+            return None
+        if self.op == "/" and b == 0.0:
+            return None  # SQL-style NULL, not ZeroDivisionError
+        return _BIN_OPS[self.op](a, b)
+
+    def evaluate_vector(self, getcol):
+        lhs = self.left.evaluate_vector(getcol)
+        if lhs is None:
+            return None
+        rhs = self.right.evaluate_vector(getcol)
+        if rhs is None:
+            return None
+        lvals, lmask = lhs
+        rvals, rmask = rhs
+        mask = _mask_or(lmask, rmask)
+        if self.op == "/":
+            zero = rvals == 0.0
+            mask = _mask_or(mask, zero)
+            if zero is not False and np.any(zero):
+                # Avoid FP exceptions on cells the mask already voids.
+                rvals = np.where(zero, 1.0, rvals)
+        with np.errstate(over="ignore", invalid="ignore"):
+            vals = _BIN_OPS[self.op](lvals, rvals)
+        return vals, mask
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _mask_or(a, b):
+    """Union of null masks where either side may be the scalar ``False``."""
+    if a is False:
+        return b
+    if b is False:
+        return a
+    return a | b

@@ -155,6 +155,22 @@ class HistoryStore:
             self._next_tuple_id += 1
             return self._next_tuple_id
 
+    def new_tuple_ids(self, n: int):
+        """``n`` consecutive fresh ids, taking the lock once.
+
+        Returns ``range(first, first + n)`` — the exact sequence ``n``
+        successive :meth:`new_tuple_id` calls would have produced, so batch
+        producers (the columnar hash join) can pre-allocate ids for a whole
+        probe sweep without changing the id stream relative to the
+        tuple-at-a-time reference path.
+        """
+        if n <= 0:
+            return range(0)
+        with self._id_lock:
+            first = self._next_tuple_id + 1
+            self._next_tuple_id += n
+        return range(first, first + n)
+
     # -- registration -------------------------------------------------------
 
     def register_base(self, tuple_id: int, pdf: Pdf) -> AncestorRef:

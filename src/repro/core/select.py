@@ -271,6 +271,45 @@ class SelectionPlan:
             results[i] = adopt(t.tuple_id, dict(t.certain), new_pdfs, new_lineage)
         return results
 
+    def probabilities_columnar(self, batch) -> Optional[Tuple[List[float], List[int]]]:
+        """``P(predicate holds AND the tuple exists)`` per row of ``batch``.
+
+        The probability a PROB() threshold needs is exactly the mass of the
+        selected (floored) tuple — so on the kernelizable shape (fast dep is
+        the tuple's *only* dependency set) it comes straight off the fused
+        ``interval_probs_params`` sweep, without materialising the survivor
+        tuples :meth:`apply_columnar` would build only to measure and drop.
+        Element-wise identical to ``apply`` + ``probability_of`` composed:
+        filtered-out rows (NULL pdfs, mass <= epsilon) read 0.0, and the
+        kernel masses are bitwise the values ``cached_mass`` would compute.
+
+        Returns ``(probs, leftover_rows)`` where ``leftover_rows`` are the
+        row indices the column view cannot express (their ``probs`` slots
+        still hold 0.0 — the caller resolves them via the reference path),
+        or ``None`` when the whole batch needs the reference path.
+        """
+        if self.certain_only or self._fast_dep is None or self._untouched:
+            return None
+        col = batch.attr_column(self._fast_dep)
+        if col is None:
+            return None
+        out: List[float] = [0.0] * len(batch.tuples)
+        epsilon = self.config.mass_epsilon
+        stats = self.columnar_stats
+        for fam, rows, params, _pdfs, _lins in col.groups:
+            masses = interval_probs_params(fam, params, self._fast_allowed)
+            fam_name = fam.__name__
+            stats["families"][fam_name] = stats["families"].get(fam_name, 0) + len(
+                _pdfs
+            )
+            for i, m in zip(rows.tolist(), masses.tolist()):
+                if m > epsilon:
+                    out[i] = m if m < 1.0 else 1.0
+        stats["kernel_rows"] += col.kernel_rows
+        leftover = col.other_rows.tolist() if len(col.other_rows) else []
+        stats["fallback_rows"] += len(leftover)
+        return out, leftover
+
     def apply_columnar(self, batch, store: HistoryStore):
         """Select a columnar batch; element-wise identical to :meth:`apply`.
 

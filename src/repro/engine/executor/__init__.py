@@ -3,6 +3,7 @@
 from .aggregate import AggSpec, Aggregate, Distinct, GroupAggregate
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
+from .compute import Compute
 from .relational import (
     Filter,
     HashJoin,
@@ -40,6 +41,7 @@ __all__ = [
     "RelationScan",
     "Filter",
     "Project",
+    "Compute",
     "NestedLoopJoin",
     "HashJoin",
     "ThresholdFilter",

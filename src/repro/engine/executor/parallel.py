@@ -51,6 +51,7 @@ from ...core.model import ModelConfig, ProbabilisticTuple
 from .aggregate import Aggregate, Distinct, GroupAggregate
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
+from .compute import Compute
 from ...core.columnar import ColumnarSegment
 from .columnar import ColumnarBatch
 from .relational import (
@@ -218,10 +219,17 @@ class _PageMorselScan(Operator):
         return flatten(self.batches())
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        if self.columnar:
+            # Same direct page-to-segment decode as the serial SeqScan.
+            for chunk, seg in self.table.scan_segments(
+                size, page_ids=self.page_ids, pruner=self.pruner
+            ):
+                yield ColumnarBatch(chunk, seg, 0)
+            return
         for chunk in self.table.scan_batches(
             size, page_ids=self.page_ids, pruner=self.pruner
         ):
-            yield ColumnarBatch(chunk) if self.columnar else TupleBatch(chunk)
+            yield TupleBatch(chunk)
 
     def label(self) -> str:
         return f"PageMorselScan({self.table.name}, {len(self.page_ids)} pages)"
@@ -685,7 +693,7 @@ def _nested_loop_task(
 # ---------------------------------------------------------------------------
 
 #: Per-tuple, order-preserving operators safe to clone into morsel fragments.
-_MAPPABLE = (Filter, Project, Scalarize, RenameOp, ProbFilter, ThresholdFilter)
+_MAPPABLE = (Filter, Project, Compute, Scalarize, RenameOp, ProbFilter, ThresholdFilter)
 
 #: Single-child operators that must see the whole input (kept serial).
 _BLOCKING = (Sort, SortByProbability, Limit, Distinct, Aggregate, GroupAggregate)

@@ -12,7 +12,15 @@ from __future__ import annotations
 import operator
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ...core.history import HistoryStore, rename_lineage
+from ...core.join import (
+    build_probe_index,
+    gather_key_vector,
+    keys_kernelizable,
+    probe_ranges,
+)
 from ...core.model import (
     DEFAULT_CONFIG,
     ModelConfig,
@@ -20,7 +28,7 @@ from ...core.model import (
     ProbabilisticTuple,
 )
 from ...core.operations import cached_marginalize, cached_mass
-from ...core.predicates import Predicate
+from ...core.predicates import Comparison, Predicate, TruePredicate
 from ...core.project import ProjectionPlan
 from ...core.select import SelectionPlan
 from ...core.threshold import (
@@ -210,7 +218,9 @@ def _merge_pair(
     pdfs.update(tr.pdfs)
     lineage = dict(tl.lineage)
     lineage.update(tr.lineage)
-    return ProbabilisticTuple(tuple_id, certain, pdfs, lineage)
+    # The dicts are freshly built and never aliased: skip __init__'s
+    # defensive copies (this is the densest allocation site in every join).
+    return ProbabilisticTuple._adopt(tuple_id, certain, pdfs, lineage)
 
 
 def _select_batches(
@@ -280,6 +290,17 @@ class HashJoin(Operator):
     The full predicate (which may include additional probabilistic terms)
     is still applied through the SelectionPlan after the hash pre-filter —
     the hash only prunes pairs whose certain keys cannot match.
+
+    With ``ModelConfig.columnar`` on, the batch path builds a float64 key
+    vector over the (renamed) right input, sorts it stably, and probes each
+    left batch's key column with one vectorized ``searchsorted`` sweep per
+    batch instead of a dict lookup per row.  The stable sort keeps equal
+    keys in right-scan insertion order, and matched-pair ids come from one
+    contiguous block allocation, so the emitted pair stream — ids, order,
+    contents — is bitwise identical to the reference bucket path.  Keys the
+    float vector cannot represent faithfully (strings, nan, magnitudes >=
+    2**53) fall back to the reference dict per side; a fallback is a
+    performance event, never a semantic one.
     """
 
     def __init__(
@@ -304,9 +325,12 @@ class HashJoin(Operator):
         self.left_key, self.right_key = left_key, right_key
         self.predicate = predicate
         self.store = store
+        self.config = config
         merged, self._renames = _merge_schemas(left.output_schema, right.output_schema)
         self.plan = SelectionPlan(merged, predicate, config)
         self.output_schema = self.plan.output_schema
+        #: EXPLAIN ANALYZE: vectorized probe sweeps executed (one per left batch)
+        self.join_probe_kernels = 0
 
     def _build_buckets(
         self, right_tuples
@@ -320,6 +344,27 @@ class HashJoin(Operator):
                 buckets.setdefault(key, []).append(renamed)
         return buckets
 
+    def _trivial_match_predicate(self) -> bool:
+        """Whether a key-matched pair always survives the SelectionPlan.
+
+        True when the plan is certain-only and the predicate is exactly the
+        join's own key equality (or TRUE): both keys of a matched pair are
+        non-null and equal under Python ``==`` (the float64 guard ensures
+        the vectorized match implies that), so ``apply`` would merely
+        rewrap the pair — the hot path skips it entirely.
+        """
+        if not self.plan.certain_only:
+            return False
+        p = self.predicate
+        if isinstance(p, TruePredicate):
+            return True
+        return (
+            isinstance(p, Comparison)
+            and p.op == "="
+            and p.is_column_comparison
+            and {p.left, p.right.name} == {self.left_key, self.right_key}
+        )
+
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         buckets = self._build_buckets(self.right)
         for tl in self.left:
@@ -332,22 +377,101 @@ class HashJoin(Operator):
                 if result is not None:
                     yield result
 
-    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        buckets = self._build_buckets(flatten(self.right.batches(size)))
+    def _reference_pairs(self, inner, probe_key, size) -> Iterator[ProbabilisticTuple]:
+        """Dict-bucket pair stream over an already-renamed right side."""
+        buckets: Dict[object, List[ProbabilisticTuple]] = {}
+        for tr in inner:
+            key = tr.certain.get(probe_key)
+            if key is not None:
+                buckets.setdefault(key, []).append(tr)
+        for batch in self.left.batches(size):
+            for tl in batch.tuples:
+                key = tl.certain.get(self.left_key)
+                if key is None:
+                    continue
+                for tr in buckets.get(key, ()):
+                    yield _merge_pair(tl, tr, self.store.new_tuple_id())
 
-        def pairs() -> Iterator[ProbabilisticTuple]:
-            for batch in self.left.batches(size):
+    def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        inner = [
+            _rename_tuple(t, self._renames)
+            for t in flatten(self.right.batches(size))
+        ]
+        probe_key = self._renames.get(self.right_key, self.right_key)
+        index = None
+        if self.config.columnar:
+            gathered = gather_key_vector(inner, probe_key)
+            if gathered is not None and keys_kernelizable(*gathered):
+                index = build_probe_index(*gathered)
+        if index is None:
+            yield from _select_batches(
+                self.plan,
+                self.store,
+                self._reference_pairs(inner, probe_key, size),
+                size,
+            )
+            return
+
+        order, sorted_keys = index
+        buckets: Optional[Dict[object, List[ProbabilisticTuple]]] = None
+
+        def pairs_of(batch) -> Iterator[ProbabilisticTuple]:
+            nonlocal buckets
+            lkeys = None
+            if type(batch) is ColumnarBatch:
+                col = batch.certain_column(self.left_key)
+                if col is not None and len(col[0]) == len(batch.tuples):
+                    lkeys = col
+            if lkeys is None:
+                lkeys = gather_key_vector(batch.tuples, self.left_key)
+            if lkeys is None or not keys_kernelizable(*lkeys):
+                # This batch's keys need Python semantics: dict path, built
+                # once from the same renamed right side in insertion order.
+                if buckets is None:
+                    buckets = {}
+                    for tr in inner:
+                        key = tr.certain.get(probe_key)
+                        if key is not None:
+                            buckets.setdefault(key, []).append(tr)
                 for tl in batch.tuples:
                     key = tl.certain.get(self.left_key)
                     if key is None:
                         continue
                     for tr in buckets.get(key, ()):
                         yield _merge_pair(tl, tr, self.store.new_tuple_id())
+                return
+            lvals, lmask = lkeys
+            live = np.flatnonzero(~lmask) if lmask.any() else None
+            probe = lvals if live is None else lvals[live]
+            lo, hi = probe_ranges(sorted_keys, probe)
+            counts = hi - lo
+            self.join_probe_kernels += 1
+            total = int(counts.sum())
+            if not total:
+                return
+            ids = iter(self.store.new_tuple_ids(total))
+            tuples = batch.tuples
+            for j in np.flatnonzero(counts):
+                tl = tuples[j if live is None else live[j]]
+                for r in order[lo[j] : hi[j]]:
+                    yield _merge_pair(tl, inner[r], next(ids))
 
-        yield from _select_batches(self.plan, self.store, pairs(), size)
+        def merged_stream() -> Iterator[ProbabilisticTuple]:
+            for batch in self.left.batches(size):
+                yield from pairs_of(batch)
+
+        if self._trivial_match_predicate():
+            yield from batched(merged_stream(), size)
+        else:
+            yield from _select_batches(self.plan, self.store, merged_stream(), size)
 
     def children(self) -> List[Operator]:
         return [self.left, self.right]
+
+    def explain_extras(self) -> List[str]:
+        if not self.join_probe_kernels:
+            return []
+        return [f"join_probe_kernels={self.join_probe_kernels}"]
 
     def label(self) -> str:
         return f"HashJoin({self.left_key} = {self.right_key}, {self.predicate!r})"
@@ -490,33 +614,69 @@ class ProbFilter(Operator):
             if compare(p, self.threshold):
                 yield t
 
+    def _reference_probs(self, selected) -> Dict[int, float]:
+        alive = [(i, s) for i, s in enumerate(selected) if s is not None]
+        return dict(
+            zip(
+                (i for i, _ in alive),
+                batch_probability_of(
+                    [s for _, s in alive], self.store, None, self.config
+                ),
+            )
+        )
+
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
         compare = _THRESH_OPS[self.op]
         columnar = self.config.columnar
         for batch in self.child.batches(size):
+            fast = None
             if columnar and type(batch) is ColumnarBatch:
-                selected = self.plan.apply_columnar(batch, self.store)
+                fast = self.plan.probabilities_columnar(batch)
+            if fast is not None:
+                probs, leftover = fast
+                if leftover:
+                    # Rows the column view cannot express: measure them the
+                    # reference way (select, then mass the survivors).
+                    sub = self.plan.apply_batch(
+                        [batch.tuples[i] for i in leftover], self.store
+                    )
+                    sub_probs = self._reference_probs(sub)
+                    for j, i in enumerate(leftover):
+                        probs[i] = sub_probs.get(j, 0.0)
+                kept = [
+                    t
+                    for t, p in zip(batch.tuples, probs)
+                    if compare(p, self.threshold)
+                ]
             else:
-                selected = self.plan.apply_batch(batch.tuples, self.store)
-            alive = [(i, s) for i, s in enumerate(selected) if s is not None]
-            probs = dict(
-                zip(
-                    (i for i, _ in alive),
-                    batch_probability_of(
-                        [s for _, s in alive], self.store, None, self.config
-                    ),
-                )
-            )
-            kept = [
-                t
-                for i, t in enumerate(batch.tuples)
-                if compare(probs.get(i, 0.0), self.threshold)
-            ]
+                if columnar and type(batch) is ColumnarBatch:
+                    selected = self.plan.apply_columnar(batch, self.store)
+                else:
+                    selected = self.plan.apply_batch(batch.tuples, self.store)
+                probs_map = self._reference_probs(selected)
+                kept = [
+                    t
+                    for i, t in enumerate(batch.tuples)
+                    if compare(probs_map.get(i, 0.0), self.threshold)
+                ]
             if kept:
                 yield TupleBatch(kept)
 
     def children(self) -> List[Operator]:
         return [self.child]
+
+    def explain_extras(self) -> List[str]:
+        stats = self.plan.columnar_stats
+        kernel, fallback = stats["kernel_rows"], stats["fallback_rows"]
+        if not kernel and not fallback:
+            return []
+        extras = [f"columnar_rows={kernel}/{kernel + fallback}"]
+        if stats["families"]:
+            fams = ",".join(
+                f"{name}:{count}" for name, count in sorted(stats["families"].items())
+            )
+            extras.append(f"kernels={fams}")
+        return extras
 
     def label(self) -> str:
         return f"ProbFilter(Pr({self.predicate!r}) {self.op} {self.threshold:g})"

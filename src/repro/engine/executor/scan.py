@@ -121,6 +121,9 @@ class SeqScan(_ColumnarScanMixin, Operator):
         self.page_stats: Optional[tuple] = None
         self.columnar_batches = 0
         self.fallback_batches = 0
+        #: rows whose segment arrays were filled during the page decode walk
+        #: (always 0 when ``columnar`` is off)
+        self.direct_decode_rows = 0
 
     def candidate_page_ids(self) -> List[int]:
         """The pages this scan will visit (after synopsis pruning)."""
@@ -155,12 +158,20 @@ class SeqScan(_ColumnarScanMixin, Operator):
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
         def run():
-            if not self._pruned():
-                for chunk in self.table.scan_batches(size):
-                    yield self._wrap(chunk)
+            page_ids = self.candidate_page_ids() if self._pruned() else None
+            pruner = self.pruner if self._pruned() else None
+            if self.columnar:
+                # Direct decode: pages fill the segment's id/certain arrays
+                # while the record prefixes deserialize.
+                for chunk, seg in self.table.scan_segments(
+                    size, page_ids=page_ids, pruner=pruner
+                ):
+                    self.columnar_batches += 1
+                    self.direct_decode_rows += len(chunk)
+                    yield ColumnarBatch(chunk, seg, 0)
                 return
             for chunk in self.table.scan_batches(
-                size, page_ids=self.candidate_page_ids(), pruner=self.pruner
+                size, page_ids=page_ids, pruner=pruner
             ):
                 yield self._wrap(chunk)
 
@@ -179,6 +190,8 @@ class SeqScan(_ColumnarScanMixin, Operator):
                 extras.append("pruned")
         if self.pruner is not None and self.pruner.lazy:
             extras.append("lazy")
+        if self.direct_decode_rows:
+            extras.append(f"direct_decode_rows={self.direct_decode_rows}")
         extras.extend(self._columnar_extras())
         return extras
 

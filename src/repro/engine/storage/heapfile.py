@@ -137,3 +137,25 @@ class HeapFile:
         for page_id in page_ids:
             page = self.pool.get_page(page_id)
             yield [(RID(page_id, slot), record) for slot, record in page.records()]
+
+    def scan_records(
+        self, page_ids: Optional[Sequence[int]] = None
+    ) -> Iterator[List[bytes]]:
+        """Yield the live record payloads one whole page at a time.
+
+        Like :meth:`scan_pages` but without materializing an :class:`RID`
+        per record — the direct page-to-segment decode path only needs the
+        bytes, and skipping the handle allocation keeps the per-record cost
+        down to the decode itself.
+        """
+        if page_ids is None:
+            page_ids = self.page_ids
+        else:
+            unknown = [p for p in page_ids if p not in self._page_set]
+            if unknown:
+                raise StorageError(
+                    f"pages {unknown} do not belong to heap file {self.name!r}"
+                )
+        for page_id in page_ids:
+            page = self.pool.get_page(page_id)
+            yield [record for _slot, record in page.records()]

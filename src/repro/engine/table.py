@@ -28,9 +28,16 @@ from ..pdf.base import Pdf, UnivariatePdf
 from .index.btree import BPlusTree
 from .index.pti import ProbabilityThresholdIndex
 from .index.spatial import SpatialGridIndex
+from ..core.columnar import ColumnarSegment
 from .storage.buffer import BufferPool
 from .storage.heapfile import HeapFile, RID
-from .storage.serialize import decode_prefix, decode_tuple, dep_summary, encode_tuple
+from .storage.serialize import (
+    CertainColumnBuilder,
+    decode_prefix,
+    decode_tuple,
+    dep_summary,
+    encode_tuple,
+)
 from .storage.synopsis import PageSynopsis, ScanPruner
 
 __all__ = ["Table"]
@@ -187,6 +194,57 @@ class Table:
                     buf = []
         if buf:
             yield buf
+
+    def scan_segments(
+        self,
+        size: int,
+        page_ids: Optional[list] = None,
+        pruner: Optional[ScanPruner] = None,
+    ) -> Iterator[Tuple[list, ColumnarSegment]]:
+        """Like :meth:`scan_batches`, but decodes pages *directly into
+        segment arrays*: each yielded ``(tuples, segment)`` pair carries a
+        :class:`~repro.core.columnar.ColumnarSegment` whose tuple-id vector
+        and certain-column float64 arrays were accumulated while the v5
+        record prefixes decoded, instead of being re-gathered from the
+        tuple dicts on first column access.
+
+        The tuple chunks are byte-for-byte the ones :meth:`scan_batches`
+        yields (same lazy pruner semantics: with a lazy pruner, pdf
+        payloads decode only for tuples the pruner admits), and the seeded
+        arrays equal the segment's own lazy gather exactly — this path
+        changes where the column build happens, never what it holds.
+        """
+        certain_attrs = [
+            c.name
+            for c in self.schema.columns
+            if not self.schema.is_uncertain(c.name)
+        ]
+        lazy = pruner is not None and pruner.lazy
+        buf: list = []
+        builder = CertainColumnBuilder(certain_attrs)
+
+        def flush():
+            segment = ColumnarSegment(buf)
+            builder.seed(segment)
+            return buf, segment
+
+        for records in self.heap.scan_records(page_ids):
+            for record in records:
+                if lazy:
+                    prefix = decode_prefix(record)
+                    if not pruner.admits_prefix(prefix):
+                        continue
+                    t = prefix.complete()
+                else:
+                    t, _ = decode_tuple(record)
+                buf.append(t)
+                builder.add(t.tuple_id, t.certain)
+                if len(buf) >= size:
+                    yield flush()
+                    buf = []
+                    builder = CertainColumnBuilder(certain_attrs)
+        if buf:
+            yield flush()
 
     # -- page synopses -----------------------------------------------------------
 

@@ -254,6 +254,18 @@ class JointGridPdf(Pdf):
         shape = "x".join(str(a.size) for a in self.axes)
         return f"JointGrid({', '.join(self.attrs)}; {shape} cells, mass={self.mass():.4g})"
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JointGridPdf):
+            return NotImplemented
+        return (
+            self.axes == other.axes
+            and self.masses.shape == other.masses.shape
+            and np.array_equal(self.masses, other.masses)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attrs, self.masses.tobytes()))
+
     # -- probabilistic core -------------------------------------------------------
 
     def mass(self) -> float:
