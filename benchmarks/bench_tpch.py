@@ -1,0 +1,189 @@
+"""Million-tuple uncertain-TPC-H sweep: in-memory vs memory-bounded.
+
+For each scale factor the workload is generated and loaded once (the
+generator re-derives identical data from the seed, so the load is the only
+materialisation), then every query of the benchmark suite runs twice —
+unbounded, and under a ``work_mem`` budget that forces the Grace hash join
+and the external merge sort to spill — and the two result streams are
+asserted **bitwise identical** per cell: tuple ids, order, certain values,
+and pdf contents.  Spill activity (partitions, runs, bytes) is recorded
+per cell from the global spill counters, and the spilled plan of each
+query at the smallest scale factor is captured via ``EXPLAIN ANALYZE`` so
+the report shows the ``spill_partitions=`` / ``sort_runs=`` operators.
+
+Writes ``BENCH_tpch.json`` at the repo root.
+
+Environment overrides (CI smoke uses tiny values):
+
+* ``REPRO_BENCH_TPCH_SFS`` — comma-separated scale factors
+  (default ``0.01,0.05,0.1``; 0.1 is ~770k tuples across the 3 tables),
+* ``REPRO_BENCH_TPCH_WORK_MEM`` — spill budget in bytes (default 4 MiB),
+* ``REPRO_BENCH_TPCH_OUT`` — report filename.
+
+Run: ``pytest benchmarks/bench_tpch.py --benchmark-only -q``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.bench.envinfo import environment_info
+from repro.core.operations import PDF_OP_CACHE
+from repro.engine.database import Database
+from repro.engine.executor.spill import SPILL_STATS
+from repro.workloads import TpchConfig, generate_tpch, query_suite, table_row_counts
+
+SCALE_FACTORS = tuple(
+    float(s)
+    for s in os.environ.get("REPRO_BENCH_TPCH_SFS", "0.01,0.05,0.1").split(",")
+    if s.strip()
+)
+WORK_MEM = int(os.environ.get("REPRO_BENCH_TPCH_WORK_MEM", str(4 << 20)))
+
+#: Above this lineitem count the build side of the join and every ORDER BY
+#: input exceed the default budget, so the sweep MUST observe spills.
+SPILL_EXPECTED_ROWS = 150_000
+
+
+def _result_key(rows):
+    """Exact per-tuple fingerprint: id, certain values, pdf contents."""
+    return [
+        (
+            t.tuple_id,
+            tuple(sorted(t.certain.items())),
+            tuple(
+                (tuple(sorted(dep)), repr(pdf))
+                for dep, pdf in sorted(t.pdfs.items(), key=lambda kv: sorted(kv[0]))
+            ),
+        )
+        for t in rows
+    ]
+
+
+def _timed_run(db, sql, id0):
+    db.catalog.store._next_tuple_id = id0
+    PDF_OP_CACHE.reset()
+    t0 = time.perf_counter()
+    result = db.execute(sql)
+    return time.perf_counter() - t0, result
+
+
+def _spill_plan_lines(plan_text):
+    return [
+        line.strip()
+        for line in plan_text.splitlines()
+        if "spill_partitions=" in line or "sort_runs=" in line
+    ]
+
+
+def _sweep_scale_factor(sf, capture_plans):
+    config = TpchConfig(scale_factor=sf, seed=0)
+    db = Database()
+    t0 = time.perf_counter()
+    generate_tpch(db, config)
+    load_seconds = time.perf_counter() - t0
+    base_config = db.catalog.config
+    spill_config = replace(base_config, work_mem=WORK_MEM)
+    id0 = db.catalog.store._next_tuple_id
+
+    queries = []
+    total_spills = {"join_spills": 0, "sort_spills": 0}
+    for name, sql in query_suite(config):
+        db.catalog.config = base_config
+        mem_seconds, mem_result = _timed_run(db, sql, id0)
+        mem_key = _result_key(mem_result.rows)
+
+        db.catalog.config = spill_config
+        SPILL_STATS.reset()
+        spill_seconds, spill_result = _timed_run(db, sql, id0)
+        stats = SPILL_STATS.snapshot()
+        total_spills["join_spills"] += stats["join_spills"]
+        total_spills["sort_spills"] += stats["sort_spills"]
+
+        assert _result_key(spill_result.rows) == mem_key, (
+            f"sf={sf} query={name}: spilled result diverged from in-memory"
+        )
+
+        cell = {
+            "query": name,
+            "sql": sql,
+            "rows": len(mem_result.rows),
+            "in_memory_seconds": mem_seconds,
+            "spilled_seconds": spill_seconds,
+            "spill_stats": stats,
+            "identical": True,
+        }
+        if capture_plans:
+            db.catalog.store._next_tuple_id = id0
+            analyzed = db.execute(f"EXPLAIN ANALYZE {sql}")
+            cell["spill_operators"] = _spill_plan_lines(analyzed.plan_text or "")
+        queries.append(cell)
+
+    db.catalog.config = base_config
+    counts = table_row_counts(config)
+    if counts["lineitem"] >= SPILL_EXPECTED_ROWS:
+        assert total_spills["join_spills"] >= 1, (
+            f"sf={sf}: expected the hash join to spill under {WORK_MEM} bytes"
+        )
+        assert total_spills["sort_spills"] >= 1, (
+            f"sf={sf}: expected at least one external sort under {WORK_MEM} bytes"
+        )
+    return {
+        "scale_factor": sf,
+        "table_rows": counts,
+        "total_tuples": sum(counts.values()),
+        "load_seconds": load_seconds,
+        "work_mem": WORK_MEM,
+        "spills_observed": total_spills,
+        "queries": queries,
+    }
+
+
+def bench_tpch_sweep(benchmark, capsys):
+    """SF sweep x query suite; every cell spilled ≡ in-memory, bitwise."""
+
+    def run():
+        sweeps = [
+            _sweep_scale_factor(sf, capture_plans=(i == 0))
+            for i, sf in enumerate(sorted(SCALE_FACTORS))
+        ]
+        return {
+            "workload": "tpch_uncertain",
+            "scale_factors": sorted(SCALE_FACTORS),
+            "work_mem": WORK_MEM,
+            "environment": environment_info(),
+            "sweeps": sweeps,
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    out_name = os.environ.get("REPRO_BENCH_TPCH_OUT", "BENCH_tpch.json")
+    out_path = Path(__file__).resolve().parents[1] / out_name
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        from repro.bench.reporting import print_figure
+
+        for sweep in report["sweeps"]:
+            print_figure(
+                f"uncertain TPC-H SF {sweep['scale_factor']:g} "
+                f"({sweep['total_tuples']} tuples, load {sweep['load_seconds']:.1f}s, "
+                f"work_mem {sweep['work_mem']})",
+                ["query", "rows", "in_memory_s", "spilled_s", "join_spills", "sort_runs"],
+                [
+                    [
+                        q["query"],
+                        q["rows"],
+                        q["in_memory_seconds"],
+                        q["spilled_seconds"],
+                        q["spill_stats"]["join_spills"],
+                        q["spill_stats"]["sort_runs"],
+                    ]
+                    for q in sweep["queries"]
+                ],
+            )

@@ -1,10 +1,13 @@
 """Perf-regression guard over the committed benchmark reports.
 
 Compares the batch-256 columnar speedup of each current report
-(``BENCH_engine.json`` and ``BENCH_join.json`` by default) against the
-value committed at a baseline git ref (default ``HEAD``), with a slack
-factor absorbing machine noise.  Run it after regenerating the reports and
-before committing::
+(``BENCH_engine.json``, ``BENCH_join.json``, and ``BENCH_tpch.json`` by
+default) against the value committed at a baseline git ref (default
+``HEAD``), with a slack factor absorbing machine noise.  The TPC-H report
+carries no batch-256 variants; it is dispatched to its own checks —
+bitwise spilled/in-memory identity per cell, mandatory spills at large
+scale factors, and a ceiling on spill overhead versus the baseline.  Run
+the guard after regenerating the reports and before committing::
 
     python benchmarks/check_perf_regression.py --baseline-ref HEAD
 
@@ -32,7 +35,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-DEFAULT_REPORTS = ["BENCH_engine.json", "BENCH_join.json"]
+DEFAULT_REPORTS = ["BENCH_engine.json", "BENCH_join.json", "BENCH_tpch.json"]
+
+#: lineitem row count above which the TPC-H sweep must have observed spills.
+TPCH_SPILL_EXPECTED_ROWS = 150_000
 
 
 def batch256_speedup(report: dict) -> float:
@@ -43,6 +49,81 @@ def batch256_speedup(report: dict) -> float:
     columnar = [v for v in variants if v.get("columnar")]
     chosen = columnar[0] if columnar else variants[0]
     return float(chosen["speedup"])
+
+
+def tpch_overhead(report: dict) -> dict[tuple[float, str], float]:
+    """Per-(scale factor, query) spilled/in-memory slowdown ratios."""
+    ratios: dict[tuple[float, str], float] = {}
+    for sweep in report.get("sweeps", []):
+        for cell in sweep.get("queries", []):
+            mem = float(cell["in_memory_seconds"])
+            if mem > 0:
+                ratios[(sweep["scale_factor"], cell["query"])] = (
+                    float(cell["spilled_seconds"]) / mem
+                )
+    return ratios
+
+
+def check_tpch_report(name: str, report: dict, baseline: dict | None, slack: float) -> int:
+    """The TPC-H report has no batch-256 variants; it is guarded on its own
+    invariants: every cell's spilled result must have matched the in-memory
+    one bitwise, sweeps large enough to exceed ``work_mem`` must actually
+    have spilled, and the spilled/in-memory overhead ratio must not blow up
+    versus the committed baseline (lower is better, so the ceiling is
+    ``previous / slack``)."""
+    status = 0
+    for sweep in report.get("sweeps", []):
+        sf = sweep["scale_factor"]
+        for cell in sweep.get("queries", []):
+            if not cell.get("identical"):
+                print(
+                    f"perf guard [{name}]: FAIL — sf={sf} query="
+                    f"{cell['query']!r} spilled result was not identical",
+                    file=sys.stderr,
+                )
+                status = 1
+        spills = sweep.get("spills_observed", {})
+        if sweep.get("table_rows", {}).get("lineitem", 0) >= TPCH_SPILL_EXPECTED_ROWS:
+            if spills.get("join_spills", 0) < 1 or spills.get("sort_spills", 0) < 1:
+                print(
+                    f"perf guard [{name}]: FAIL — sf={sf} ran above work_mem "
+                    f"but observed no join+sort spills ({spills})",
+                    file=sys.stderr,
+                )
+                status = 1
+    largest = max(report.get("scale_factors", [0.0]))
+    print(
+        f"perf guard [{name}]: sweep up to SF {largest:g}, "
+        f"{sum(len(s.get('queries', [])) for s in report.get('sweeps', []))} "
+        "cells, all spilled results identical" if status == 0 else
+        f"perf guard [{name}]: structural checks failed"
+    )
+    if status:
+        return status
+
+    if baseline is None:
+        print(f"perf guard [{name}]: no baseline; skipping overhead comparison")
+        return 0
+    if baseline.get("scale_factors") != report.get("scale_factors"):
+        print(
+            f"perf guard [{name}]: baseline swept {baseline.get('scale_factors')}, "
+            f"report swept {report.get('scale_factors')}; skipping comparison"
+        )
+        return 0
+    current, previous = tpch_overhead(report), tpch_overhead(baseline)
+    for key in sorted(current.keys() & previous.keys()):
+        ceiling = previous[key] / slack
+        if current[key] > ceiling:
+            print(
+                f"perf guard [{name}]: FAIL — spill overhead at sf={key[0]} "
+                f"{key[1]!r} regressed {previous[key]:.2f}x -> {current[key]:.2f}x "
+                f"(ceiling {ceiling:.2f}x)",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print(f"perf guard [{name}]: OK")
+    return status
 
 
 def load_baseline(ref: str, name: str) -> dict | None:
@@ -73,6 +154,8 @@ def check_report(
         print(f"perf guard: {name} not found", file=sys.stderr)
         return 1
     report = json.loads(report_path.read_text())
+    if report.get("workload") == "tpch_uncertain":
+        return check_tpch_report(name, report, load_baseline(baseline_ref, name), slack)
     current = batch256_speedup(report)
     print(
         f"perf guard [{name}]: current batch-256 speedup {current:.2f}x "

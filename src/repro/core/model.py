@@ -124,6 +124,23 @@ class ModelConfig:
         over those arrays.  ``False`` keeps the list-of-tuples batches.
         Either way the scalar iterator remains the reference semantics;
         the columnar path is asserted bitwise identical to it.
+    ``work_mem``
+        Per-operator working-memory budget in bytes for the blocking
+        operators (hash join build side, ORDER BY, ORDER BY PROB(*),
+        DISTINCT).  ``None`` or ``0`` (the default) means unlimited: every
+        operator materialises in memory exactly as before.  With a budget
+        set, a hash join whose build side exceeds it switches to a
+        Grace-style partitioned spill join, and sorts/DISTINCT spill
+        sorted runs and merge them back — both asserted bitwise identical
+        (tuple ids and row order included) to the in-memory paths.
+        Spill activity is reported by ``EXPLAIN ANALYZE`` as
+        ``spill_partitions=`` / ``sort_runs=``.
+    ``spill_dir``
+        Directory for spill run files.  ``None`` (the default) uses a
+        fresh temporary directory per spilling operator, removed when the
+        operator finishes.  Durable databases point this at
+        ``<path>/spill`` so that files orphaned by a crash are removed by
+        recovery on the next open.
     """
 
     use_history: bool = True
@@ -137,6 +154,8 @@ class ModelConfig:
     scan_pruning: bool = True
     lazy_decode: bool = True
     columnar: bool = True
+    work_mem: Optional[int] = None
+    spill_dir: Optional[str] = None
 
 
 def _config_from_env() -> "ModelConfig":
@@ -144,16 +163,23 @@ def _config_from_env() -> "ModelConfig":
 
     ``REPRO_WORKERS`` / ``REPRO_PARALLEL_BACKEND`` let CI exercise the
     parallel executor across the whole suite without touching call sites;
-    ``REPRO_COLUMNAR=0`` likewise forces the list-of-tuples batch path.
+    ``REPRO_COLUMNAR=0`` likewise forces the list-of-tuples batch path, and
+    ``REPRO_WORK_MEM=<bytes>`` forces the spill-to-disk operator paths.
     """
     import os
 
     workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
     backend = os.environ.get("REPRO_PARALLEL_BACKEND", "thread") or "thread"
     columnar = os.environ.get("REPRO_COLUMNAR", "1") not in ("0", "false", "off")
-    if workers == 1 and backend == "thread" and columnar:
+    work_mem = int(os.environ.get("REPRO_WORK_MEM", "0") or "0") or None
+    if workers == 1 and backend == "thread" and columnar and work_mem is None:
         return ModelConfig()
-    return ModelConfig(workers=workers, parallel_backend=backend, columnar=columnar)
+    return ModelConfig(
+        workers=workers,
+        parallel_backend=backend,
+        columnar=columnar,
+        work_mem=work_mem,
+    )
 
 
 DEFAULT_CONFIG = _config_from_env()

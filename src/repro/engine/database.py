@@ -15,6 +15,8 @@ queryable system with uncertainty as a first-class citizen.
 
 from __future__ import annotations
 
+import os
+import shutil
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
@@ -191,6 +193,12 @@ class Database:
         else:
             from .wal import open_durable
 
+            # Spill files are scratch state: anything a crash left behind
+            # in <path>/spill is garbage by design, cleared here exactly
+            # like stale checkpoint temp files.
+            spill_dir = os.path.join(path, "spill")
+            shutil.rmtree(spill_dir, ignore_errors=True)
+            config = replace(config, spill_dir=spill_dir)
             recovered, wal = open_durable(
                 path,
                 buffer_capacity=buffer_capacity,

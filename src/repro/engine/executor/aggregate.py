@@ -30,15 +30,46 @@ from ...core.model import (
     ProbabilisticSchema,
     ProbabilisticTuple,
 )
-from ...core.threshold import columnar_probability_of
+from ...core.threshold import columnar_probability_of, probability_of
 from ...errors import QueryError, UnsupportedOperationError
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
 from .columnar import ColumnarBatch
+from .spill import ExternalSorter, SpillManager
 
 __all__ = ["AggSpec", "Aggregate", "GroupAggregate", "Distinct"]
 
 _FUNCTIONS = ("count", "sum", "expected", "min", "max")
+
+
+def _total_order_key(values) -> Optional[tuple]:
+    """A totally ordered, picklable encoding of a grouping-key tuple.
+
+    Two encodings compare equal exactly when the raw tuples are equal as
+    Python dict keys: numerics (bool/int/float) become exact ``Fraction``s
+    so ``1 == 1.0 == True`` grouping survives, None ranks first, strings
+    last.  Returns ``None`` for values with no dict-compatible total order
+    (NaN, exotic types) — callers fall back to the in-memory dict.
+    """
+    from fractions import Fraction
+
+    out = []
+    for v in values:
+        if v is None:
+            out.append((0, 0))
+        elif isinstance(v, str):
+            out.append((2, v))
+        elif isinstance(v, (bool, int, float)):
+            if isinstance(v, float):
+                if v != v:
+                    return None  # nan: nan != nan has no total order
+                if v in (float("inf"), float("-inf")):
+                    out.append((1, v))
+                    continue
+            out.append((1, Fraction(v)))
+        else:
+            return None
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -401,6 +432,8 @@ class Distinct(Operator):
         self.output_schema = ProbabilisticSchema(
             child.output_schema.columns, [{EXISTS_ATTR}]
         )
+        #: EXPLAIN ANALYZE: spilled runs merged by the external grouping path
+        self.sort_runs = 0
         if child.output_schema.uncertain_attrs:
             raise QueryError(
                 "SELECT DISTINCT needs certain output columns; project or "
@@ -412,7 +445,11 @@ class Distinct(Operator):
         return self._execute(iter(self.child))
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
-        return batched(self._execute(flatten(self.child.batches(size))), size)
+        source = flatten(self.child.batches(size))
+        work_mem = self.config.work_mem or 0
+        if work_mem:
+            return batched(self._execute_external(source, work_mem), size)
+        return batched(self._execute(source), size)
 
     def _execute(self, source) -> Iterator[ProbabilisticTuple]:
         from ...core.distinct import distinct as core_distinct
@@ -421,6 +458,114 @@ class Distinct(Operator):
         for t in source:
             rel.add_tuple(t, acquire=False)
         return iter(core_distinct(rel, self.config).tuples)
+
+    def _execute_external(self, source, work_mem: int) -> Iterator[ProbabilisticTuple]:
+        """Memory-bounded duplicate elimination via external sort-group.
+
+        The input is externally sorted by a total-order encoding of the
+        grouping key (exact ``Fraction`` for numerics, so cross-type
+        ``1 == 1.0 == True`` equality matches the in-memory dict), groups
+        stream adjacently with members in input order, and the per-group
+        output specs — one per distinct row, output-sized — are emitted in
+        first-appearance order with sequentially assigned tuple ids:
+        bitwise identical to :func:`repro.core.distinct.distinct`.  NaN
+        keys have no dict-compatible total order, so they replay the raw
+        input (spooled to disk, memory stays bounded) through the
+        in-memory reference.
+        """
+        from ...core.distinct import EXISTS_ATTR
+        from ...core.distinct import distinct as core_distinct
+        from ...core.history import historically_dependent
+        from ...pdf.discrete import DiscretePdf
+
+        columns = self.child.output_schema.visible_attrs
+        with SpillManager(self.config.spill_dir, label="distinct") as mgr:
+            raw = mgr.create_file("input")
+            sorter = ExternalSorter(mgr, work_mem)
+            bad_keys = False
+            for seq, t in enumerate(source):
+                raw.append(seq, t)
+                if not bad_keys:
+                    key = _total_order_key([t.certain.get(c) for c in columns])
+                    if key is None:
+                        bad_keys = True
+                    else:
+                        sorter.add(key, t)
+            raw.finish()
+            if bad_keys:
+                rel = ProbabilisticRelation(
+                    self.child.output_schema, store=self.store
+                )
+                for _seq, t, _ in raw.read():
+                    rel.add_tuple(t, acquire=False)
+                yield from iter(core_distinct(rel, self.config).tuples)
+                return
+
+            # (first-member seq, first-member certain values, exists prob,
+            #  combined lineage) per distinct row — output-sized state.
+            specs: List[tuple] = []
+            cur_key = _SENTINEL = object()
+            members: List[ProbabilisticTuple] = []
+
+            def close_group() -> None:
+                if not members:
+                    return
+                lineages = [
+                    frozenset().union(*t.lineage.values()) if t.lineage else frozenset()
+                    for t in members
+                ]
+                for i in range(len(members)):
+                    for j in range(i + 1, len(members)):
+                        if historically_dependent(lineages[i], lineages[j]):
+                            raise UnsupportedOperationError(
+                                "duplicate elimination over historically "
+                                "dependent tuples is not supported (paper "
+                                "Section III-B); rows "
+                                f"{members[i].tuple_id} and "
+                                f"{members[j].tuple_id} share ancestors"
+                            )
+                absent = 1.0
+                for t in members:
+                    absent *= 1.0 - probability_of(t, self.store, None, self.config)
+                specs.append(
+                    (
+                        first_seq,
+                        {c: members[0].certain.get(c) for c in columns},
+                        1.0 - absent,
+                        frozenset().union(*lineages),
+                    )
+                )
+
+            first_seq = 0
+            for key, seq, t, _ in sorter.sorted():
+                if key != cur_key:
+                    close_group()
+                    cur_key = key
+                    members = []
+                    first_seq = seq
+                members.append(t)
+            close_group()
+            self.sort_runs += sorter.run_count
+
+        specs.sort(key=lambda spec: spec[0])
+        dep = frozenset({EXISTS_ATTR})
+        for _seq, certain, exists, combined in specs:
+            out_t = ProbabilisticTuple(
+                self.store.new_tuple_id(),
+                certain,
+                {dep: DiscretePdf({1.0: exists}, attr=EXISTS_ATTR)},
+                {dep: combined},
+            )
+            # The in-memory path adds each output row to a derived relation,
+            # acquiring its ancestor references; mirror that side effect.
+            if combined:
+                self.store.acquire(combined)
+            yield out_t
+
+    def explain_extras(self) -> List[str]:
+        if not self.sort_runs:
+            return []
+        return [f"sort_runs={self.sort_runs}"]
 
     def children(self) -> List[Operator]:
         return [self.child]

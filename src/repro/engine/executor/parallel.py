@@ -719,6 +719,11 @@ def parallelize_plan(plan: Operator, config: ModelConfig) -> Operator:
     if fragments is not None:
         return Gather(Exchange(chain, fragments, config, source=cur))
 
+    if isinstance(cur, (HashJoin, NestedLoopJoin)) and (config.work_mem or 0):
+        # Memory-bounded joins stay serial (the Grace spill path owns the
+        # budget and the id stream) but their inputs still parallelize —
+        # spilled ≡ in-memory identity is preserved under workers > 1.
+        return _rebuild_chain(chain, _rechild_join(cur, config))
     if isinstance(cur, HashJoin):
         return _rebuild_chain(
             chain, ParallelHashJoin(_rechild_join(cur, config), config)

@@ -9,6 +9,8 @@ in-memory model cannot diverge semantically.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import operator
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -40,6 +42,7 @@ from ...errors import QueryError, SchemaError
 from .base import Operator
 from .batch import DEFAULT_BATCH_SIZE, TupleBatch, batched, flatten
 from .columnar import ColumnarBatch
+from .spill import SPILL_STATS, ExternalSorter, SpillManager, estimate_tuple_bytes
 
 __all__ = [
     "Filter",
@@ -331,6 +334,8 @@ class HashJoin(Operator):
         self.output_schema = self.plan.output_schema
         #: EXPLAIN ANALYZE: vectorized probe sweeps executed (one per left batch)
         self.join_probe_kernels = 0
+        #: EXPLAIN ANALYZE: leaf partitions processed by the Grace spill path
+        self.spill_partitions = 0
 
     def _build_buckets(
         self, right_tuples
@@ -393,10 +398,19 @@ class HashJoin(Operator):
                     yield _merge_pair(tl, tr, self.store.new_tuple_id())
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        work_mem = self.config.work_mem or 0
+        if work_mem:
+            yield from self._grace_batches(size, work_mem)
+            return
         inner = [
             _rename_tuple(t, self._renames)
             for t in flatten(self.right.batches(size))
         ]
+        yield from self._inmemory_batches(inner, size)
+
+    def _inmemory_batches(
+        self, inner: List[ProbabilisticTuple], size: int
+    ) -> Iterator[TupleBatch]:
         probe_key = self._renames.get(self.right_key, self.right_key)
         index = None
         if self.config.columnar:
@@ -465,13 +479,147 @@ class HashJoin(Operator):
         else:
             yield from _select_batches(self.plan, self.store, merged_stream(), size)
 
+    #: Grace fan-out per partitioning pass and maximum recursion depth.
+    _GRACE_FANOUT = 16
+    _GRACE_MAX_LEVEL = 6
+
+    def _grace_batches(self, size: int, work_mem: int) -> Iterator[TupleBatch]:
+        """Memory-bounded join: in-memory if the build side fits, else Grace.
+
+        The build (right) side streams into memory until ``work_mem`` bytes;
+        if it fits, the ordinary in-memory path runs on the collected list.
+        Otherwise both sides hash-partition to disk on the join key; equal
+        keys land in the same partition, so every match for a left row lives
+        in exactly one partition.  Each partition joins independently,
+        writing candidate pairs (tagged with the left row's global sequence
+        number) to a pair file; merging the pair files by left sequence
+        restores the exact pair order of the in-memory path — matches for
+        one left row stay in build-insertion order because they are
+        consecutive in one file — and tuple ids are assigned sequentially
+        at merge time, so ids, order, and contents are bitwise identical.
+        """
+        right_stream = (
+            _rename_tuple(t, self._renames)
+            for t in flatten(self.right.batches(size))
+        )
+        inner: List[ProbabilisticTuple] = []
+        total = 0
+        overflow = False
+        for t in right_stream:
+            inner.append(t)
+            total += estimate_tuple_bytes(t)
+            if total > work_mem:
+                overflow = True
+                break
+        if not overflow:
+            yield from self._inmemory_batches(inner, size)
+            return
+
+        probe_key = self._renames.get(self.right_key, self.right_key)
+        fanout = self._GRACE_FANOUT
+        with SpillManager(self.config.spill_dir, label="hashjoin") as mgr:
+            rparts = [mgr.create_file(f"right{i}") for i in range(fanout)]
+            for rseq, t in enumerate(itertools.chain(inner, right_stream)):
+                key = t.certain.get(probe_key)
+                if key is not None:
+                    rparts[hash((0, key)) % fanout].append(rseq, t)
+            del inner
+            lparts = [mgr.create_file(f"left{i}") for i in range(fanout)]
+            for lseq, t in enumerate(flatten(self.left.batches(size))):
+                key = t.certain.get(self.left_key)
+                if key is not None:
+                    lparts[hash((0, key)) % fanout].append(lseq, t)
+            for f in itertools.chain(rparts, lparts):
+                f.finish()
+
+            pair_files: List = []
+            for rfile, lfile in zip(rparts, lparts):
+                self._join_partition(
+                    mgr, rfile, lfile, 1, pair_files, work_mem, probe_key
+                )
+            SPILL_STATS.on_join_spill(self.spill_partitions)
+
+            def merged_stream() -> Iterator[ProbabilisticTuple]:
+                streams = (pf.read() for pf in pair_files)
+                for _lseq, pair, _ in heapq.merge(
+                    *streams, key=lambda frame: frame[0]
+                ):
+                    yield ProbabilisticTuple._adopt(
+                        self.store.new_tuple_id(),
+                        pair.certain,
+                        pair.pdfs,
+                        pair.lineage,
+                    )
+
+            if self._trivial_match_predicate():
+                yield from batched(merged_stream(), size)
+            else:
+                yield from _select_batches(
+                    self.plan, self.store, merged_stream(), size
+                )
+
+    def _join_partition(
+        self, mgr, rfile, lfile, level, pair_files, work_mem, probe_key
+    ) -> None:
+        """Join one partition in memory, recursing on build-side overflow."""
+        fanout = self._GRACE_FANOUT
+        rframes = rfile.read()
+        loaded: List[ProbabilisticTuple] = []
+        total = 0
+        overflow = False
+        for _seq, t, _ in rframes:
+            loaded.append(t)
+            total += estimate_tuple_bytes(t)
+            if total > work_mem and level < self._GRACE_MAX_LEVEL:
+                overflow = True
+                break
+        if overflow:
+            # Recurse: re-partition both sides with a level-salted hash so
+            # the keys spread differently than at the parent level.  File
+            # order within each sub-partition preserves the parent order,
+            # so per-key match order is unchanged.
+            sub_r = [mgr.create_file(f"right{level}x{i}") for i in range(fanout)]
+            sub_l = [mgr.create_file(f"left{level}x{i}") for i in range(fanout)]
+            # Build-side order is carried by file order alone (the per-key
+            # match order), so the frame sequence number is immaterial here.
+            for t in itertools.chain(loaded, (frame[1] for frame in rframes)):
+                key = t.certain.get(probe_key)
+                sub_r[hash((level, key)) % fanout].append(0, t)
+            for seq, t, _ in lfile.read():
+                key = t.certain.get(self.left_key)
+                sub_l[hash((level, key)) % fanout].append(seq, t)
+            for f in itertools.chain(sub_r, sub_l):
+                f.finish()
+            for rf, lf in zip(sub_r, sub_l):
+                self._join_partition(
+                    mgr, rf, lf, level + 1, pair_files, work_mem, probe_key
+                )
+            return
+
+        if not loaded:
+            return
+        buckets: Dict[object, List[ProbabilisticTuple]] = {}
+        for t in loaded:
+            buckets.setdefault(t.certain.get(probe_key), []).append(t)
+        self.spill_partitions += 1
+        pf = mgr.create_file(f"pairs{level}")
+        for lseq, tl, _ in lfile.read():
+            for tr in buckets.get(tl.certain.get(self.left_key), ()):
+                pf.append(lseq, _merge_pair(tl, tr, 0))
+        pf.finish()
+        if pf.frames:
+            pair_files.append(pf)
+
     def children(self) -> List[Operator]:
         return [self.left, self.right]
 
     def explain_extras(self) -> List[str]:
-        if not self.join_probe_kernels:
-            return []
-        return [f"join_probe_kernels={self.join_probe_kernels}"]
+        extras = []
+        if self.join_probe_kernels:
+            extras.append(f"join_probe_kernels={self.join_probe_kernels}")
+        if self.spill_partitions:
+            extras.append(f"spill_partitions={self.spill_partitions}")
+        return extras
 
     def label(self) -> str:
         return f"HashJoin({self.left_key} = {self.right_key}, {self.predicate!r})"
@@ -761,6 +909,8 @@ class SortByProbability(Operator):
         self.descending = descending
         self.config = config
         self.output_schema = child.output_schema
+        #: EXPLAIN ANALYZE: spilled runs merged by the external sort path
+        self.sort_runs = 0
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         rows = [
@@ -771,14 +921,38 @@ class SortByProbability(Operator):
         return iter([t for _, _, t in rows])
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        work_mem = self.config.work_mem or 0
+        if work_mem:
+            return self._external_batches(size, work_mem)
         tuples = list(flatten(self.child.batches(size)))
         probs = batch_probability_of(tuples, self.store, None, self.config)
         rows = [(p, i, t) for i, (p, t) in enumerate(zip(probs, tuples))]
         rows.sort(key=lambda item: (-item[0], item[1]) if self.descending else (item[0], item[1]))
         return batched((t for _, _, t in rows), size)
 
+    def _external_batches(self, size: int, work_mem: int) -> Iterator[TupleBatch]:
+        # Probabilities are computed per incoming batch — the kernels are
+        # elementwise, so per-batch values equal the whole-input sweep —
+        # and the (probability, sequence) order of the stable in-memory
+        # sort is reproduced by the external run merge.
+        with SpillManager(self.config.spill_dir, label="sortprob") as mgr:
+            sorter = ExternalSorter(mgr, work_mem, descending=self.descending)
+            for batch in self.child.batches(size):
+                probs = batch_probability_of(
+                    batch.tuples, self.store, None, self.config
+                )
+                for p, t in zip(probs, batch.tuples):
+                    sorter.add(p, t)
+            yield from batched((item[2] for item in sorter.sorted()), size)
+            self.sort_runs += sorter.run_count
+
     def children(self) -> List[Operator]:
         return [self.child]
+
+    def explain_extras(self) -> List[str]:
+        if not self.sort_runs:
+            return []
+        return [f"sort_runs={self.sort_runs}"]
 
     def label(self) -> str:
         direction = "DESC" if self.descending else "ASC"
@@ -786,37 +960,68 @@ class SortByProbability(Operator):
 
 
 class Sort(Operator):
-    """ORDER BY over certain columns (materialising)."""
+    """ORDER BY over certain columns (materialising).
 
-    def __init__(self, child: Operator, attrs: Sequence[str], descending: bool = False):
+    With ``ModelConfig.work_mem`` set, the batch path runs an external
+    merge sort: sorted runs spill to disk whenever the buffered input
+    exceeds the budget and are merged back by ``(key, sequence)`` — the
+    exact order of the stable in-memory sort, tuple ids untouched.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        attrs: Sequence[str],
+        descending: bool = False,
+        config: ModelConfig = DEFAULT_CONFIG,
+    ):
         for a in attrs:
             if not child.output_schema.has_column(a) or child.output_schema.is_uncertain(a):
                 raise QueryError(f"ORDER BY needs certain columns; {a!r} is not")
         self.child = child
         self.attrs = list(attrs)
         self.descending = descending
+        self.config = config
         self.output_schema = child.output_schema
+        #: EXPLAIN ANALYZE: spilled runs merged by the external sort path
+        self.sort_runs = 0
 
     def __iter__(self) -> Iterator[ProbabilisticTuple]:
         rows = list(self.child)
         return iter(self._sorted(rows))
 
-    def _sorted(self, rows: List[ProbabilisticTuple]) -> List[ProbabilisticTuple]:
+    def _key(self, t: ProbabilisticTuple) -> Tuple:
         # None sorts last, ascending order by default.
-        rows.sort(
-            key=lambda t: tuple(
-                (t.certain.get(a) is None, t.certain.get(a)) for a in self.attrs
-            ),
-            reverse=self.descending,
+        return tuple(
+            (t.certain.get(a) is None, t.certain.get(a)) for a in self.attrs
         )
+
+    def _sorted(self, rows: List[ProbabilisticTuple]) -> List[ProbabilisticTuple]:
+        rows.sort(key=self._key, reverse=self.descending)
         return rows
 
     def batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[TupleBatch]:
+        work_mem = self.config.work_mem or 0
+        if work_mem:
+            return self._external_batches(size, work_mem)
         rows = self._sorted(list(flatten(self.child.batches(size))))
         return batched(rows, size)
 
+    def _external_batches(self, size: int, work_mem: int) -> Iterator[TupleBatch]:
+        with SpillManager(self.config.spill_dir, label="sort") as mgr:
+            sorter = ExternalSorter(mgr, work_mem, descending=self.descending)
+            for t in flatten(self.child.batches(size)):
+                sorter.add(self._key(t), t)
+            yield from batched((item[2] for item in sorter.sorted()), size)
+            self.sort_runs += sorter.run_count
+
     def children(self) -> List[Operator]:
         return [self.child]
+
+    def explain_extras(self) -> List[str]:
+        if not self.sort_runs:
+            return []
+        return [f"sort_runs={self.sort_runs}"]
 
     def label(self) -> str:
         direction = " DESC" if self.descending else ""

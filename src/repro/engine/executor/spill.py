@@ -1,0 +1,380 @@
+"""Spill-to-disk machinery for memory-bounded operators.
+
+``ModelConfig.work_mem`` caps how many bytes a blocking operator may
+materialise in memory.  When an input exceeds the budget, operators fall
+back to classic external algorithms:
+
+* the hash join partitions both sides to disk Grace-style and joins the
+  partitions one at a time (``relational.HashJoin``),
+* ``ORDER BY`` / ``ORDER BY PROB(*)`` / ``DISTINCT`` spill sorted runs and
+  merge them back (:class:`ExternalSorter`).
+
+Spilled results must stay **bitwise identical** to the in-memory paths —
+the same tuples, the same order, the same tuple ids.  The building blocks
+here are designed around that invariant:
+
+* :class:`SpillFile` frames records as ``[u64 seq][u32 len][payload]``
+  where the payload is the storage layer's exact tuple encoding
+  (:func:`~repro.engine.storage.serialize.encode_tuple` round-trips
+  bitwise, lineage included) and ``seq`` is the record's position in the
+  original stream.  Merging runs by ``(key, seq)`` therefore reproduces a
+  stable in-memory sort exactly.
+* :class:`SpillManager` owns the on-disk scratch space.  With
+  ``ModelConfig.spill_dir`` set (durable databases point it inside the
+  database directory) files land there; otherwise each manager creates a
+  private temporary directory.  Cleanup runs on success and on ordinary
+  exceptions — **not** on :class:`~repro.engine.faults.InjectedCrash` or
+  other ``BaseException``, because nothing survives a real power cut;
+  recovery on the next open clears the durable spill directory instead.
+
+Every frame write passes the ``"spill.write"`` fault point so the crash
+matrix can kill the process mid-spill.
+"""
+
+from __future__ import annotations
+
+import heapq
+import io
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+import threading
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ...core.model import ProbabilisticTuple
+from ..faults import reach
+from ..storage.serialize import decode_tuple, encode_tuple
+
+__all__ = [
+    "SPILL_STATS",
+    "ExternalSorter",
+    "SpillFile",
+    "SpillManager",
+    "SpillStats",
+    "estimate_tuple_bytes",
+]
+
+_FRAME_HEADER = struct.Struct("<QI")  # (seq, payload length)
+
+
+def estimate_tuple_bytes(t: ProbabilisticTuple) -> int:
+    """A cheap, deterministic estimate of a tuple's in-memory footprint.
+
+    Exact ``sys.getsizeof`` walks are too slow for per-tuple accounting and
+    differ across interpreters; a coarse structural formula is enough to
+    decide "does this input fit in work_mem" deterministically everywhere.
+    """
+    size = 96  # tuple object + dict headers
+    for v in t.certain.values():
+        size += 48 + (len(v) if isinstance(v, str) else 0)
+    for dep, pdf in t.pdfs.items():
+        size += 64 * len(dep)
+        size += 160 if pdf is not None else 16
+    if t.lineage:
+        for lin in t.lineage.values():
+            size += 48 + 32 * len(lin)
+    return size
+
+
+class SpillStats:
+    """Process-global spill counters (reset per benchmark cell / test)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.join_spills = 0
+        self.join_partitions = 0
+        self.sort_spills = 0
+        self.sort_runs = 0
+        self.bytes_written = 0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.join_spills = 0
+            self.join_partitions = 0
+            self.sort_spills = 0
+            self.sort_runs = 0
+            self.bytes_written = 0
+
+    def on_join_spill(self, partitions: int) -> None:
+        with self._lock:
+            self.join_spills += 1
+            self.join_partitions += partitions
+
+    def on_sort_spill(self, runs: int) -> None:
+        with self._lock:
+            self.sort_spills += 1
+            self.sort_runs += runs
+
+    def on_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_written += nbytes
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "join_spills": self.join_spills,
+                "join_partitions": self.join_partitions,
+                "sort_spills": self.sort_spills,
+                "sort_runs": self.sort_runs,
+                "bytes_written": self.bytes_written,
+            }
+
+
+#: Global spill activity counters; benchmarks assert on these to prove a
+#: sweep actually spilled.
+SPILL_STATS = SpillStats()
+
+
+class SpillManager:
+    """Owns one operator invocation's scratch directory and spill files.
+
+    Use as a context manager.  The directory is removed on clean exit and
+    on ordinary exceptions; an :class:`InjectedCrash` (any ``BaseException``
+    that is not an ``Exception``) leaves files behind on purpose — the
+    recovery path of a durable database clears its spill directory on the
+    next open, and tests assert exactly that.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, spill_dir: Optional[str] = None, label: str = "spill"):
+        self._owns_dir = spill_dir is None
+        if spill_dir is None:
+            self.dir = tempfile.mkdtemp(prefix=f"repro-{label}-")
+        else:
+            with SpillManager._counter_lock:
+                SpillManager._counter += 1
+                n = SpillManager._counter
+            self.dir = os.path.join(spill_dir, f"{label}-{os.getpid()}-{n}")
+            os.makedirs(self.dir, exist_ok=True)
+        self._files: List["SpillFile"] = []
+        self._next_file = 0
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "SpillManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # A crash (BaseException that is not Exception) must leave the
+        # scratch files on disk: nothing survives a real power cut, and
+        # recovery is responsible for clearing durable spill directories.
+        # GeneratorExit is ordinary control flow (a consumer abandoning a
+        # spilling operator, e.g. under LIMIT), so it cleans up too.
+        if exc_type is None or isinstance(exc, (Exception, GeneratorExit)):
+            self.cleanup()
+        return False
+
+    def cleanup(self) -> None:
+        for f in self._files:
+            f.close()
+        self._files.clear()
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    # -- file creation -------------------------------------------------------
+
+    def create_file(self, label: str = "run") -> "SpillFile":
+        self._next_file += 1
+        path = os.path.join(self.dir, f"{label}-{self._next_file:05d}.spill")
+        f = SpillFile(path)
+        self._files.append(f)
+        return f
+
+
+class SpillFile:
+    """A length-framed file of ``(seq, tuple[, extra])`` records.
+
+    ``seq`` is the record's position in the original in-memory stream; the
+    optional ``extra`` (pickled) carries operator-specific data such as a
+    precomputed sort key or a join-side row index.  Frames are buffered
+    and flushed in large chunks; every flush passes the ``spill.write``
+    fault point *after* the data reached the file, so an armed crash
+    leaves an observable file behind.
+    """
+
+    _FLUSH_BYTES = 1 << 20
+
+    def __init__(self, path: str):
+        self.path = path
+        self._buf = io.BytesIO()
+        self._file: Optional[Any] = open(path, "wb")
+        self.frames = 0
+        self.bytes = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def append(
+        self,
+        seq: int,
+        t: Optional[ProbabilisticTuple],
+        extra: Any = None,
+        store_lineage: bool = True,
+    ) -> None:
+        payload = encode_tuple(t, store_lineage=store_lineage) if t is not None else b""
+        blob = pickle.dumps(extra, protocol=pickle.HIGHEST_PROTOCOL) if extra is not None else b""
+        header = _FRAME_HEADER.pack(seq, len(payload))
+        self._buf.write(header)
+        self._buf.write(struct.pack("<I", len(blob)))
+        if blob:
+            self._buf.write(blob)
+        if payload:
+            self._buf.write(payload)
+        self.frames += 1
+        if self._buf.tell() >= self._FLUSH_BYTES:
+            self._flush()
+
+    def _flush(self) -> None:
+        data = self._buf.getvalue()
+        if not data:
+            return
+        assert self._file is not None
+        self._file.write(data)
+        self._file.flush()
+        self.bytes += len(data)
+        SPILL_STATS.on_write(len(data))
+        self._buf = io.BytesIO()
+        reach("spill.write")
+
+    def finish(self) -> None:
+        """Flush buffered frames and close the write handle."""
+        if self._file is not None:
+            self._flush()
+            self._file.close()
+            self._file = None
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- reading -------------------------------------------------------------
+
+    def read(self) -> Iterator[Tuple[int, Optional[ProbabilisticTuple], Any]]:
+        """Yield ``(seq, tuple, extra)`` frames in file order."""
+        self.finish()
+        with open(self.path, "rb") as f:
+            data = f.read()
+        off = 0
+        end = len(data)
+        while off < end:
+            seq, payload_len = _FRAME_HEADER.unpack_from(data, off)
+            off += _FRAME_HEADER.size
+            (blob_len,) = struct.unpack_from("<I", data, off)
+            off += 4
+            extra = None
+            if blob_len:
+                extra = pickle.loads(data[off : off + blob_len])
+                off += blob_len
+            t: Optional[ProbabilisticTuple] = None
+            if payload_len:
+                t, off = decode_tuple(data, off)
+            yield seq, t, extra
+
+
+class ExternalSorter:
+    """External merge sort with in-memory fallback below ``work_mem``.
+
+    Feed items with :meth:`add`; iterate :meth:`sorted` to drain.  Items
+    are ``(key, tuple, extra)`` triples; output order is ``(key, seq)``
+    with ``seq`` the 0-based :meth:`add` order — exactly the order a
+    stable in-memory sort of the same stream produces.
+
+    ``key`` must be a picklable, orderable value (the operators build
+    type-ranked tuples so cross-type comparisons never happen).
+    """
+
+    def __init__(
+        self,
+        manager: SpillManager,
+        work_mem: int,
+        descending: bool = False,
+        store_lineage: bool = True,
+    ):
+        self._manager = manager
+        self._work_mem = max(1, int(work_mem))
+        self._descending = descending
+        self._store_lineage = store_lineage
+        self._pending: List[Tuple[Any, int, Optional[ProbabilisticTuple], Any]] = []
+        self._pending_bytes = 0
+        self._runs: List[SpillFile] = []
+        self._seq = 0
+
+    # -- feeding -------------------------------------------------------------
+
+    def add(self, key: Any, t: Optional[ProbabilisticTuple], extra: Any = None) -> None:
+        self._pending.append((key, self._seq, t, extra))
+        self._seq += 1
+        self._pending_bytes += (estimate_tuple_bytes(t) if t is not None else 64) + 64
+        if self._pending_bytes >= self._work_mem:
+            self._spill_run()
+
+    def _sort_pending(self) -> None:
+        # Stable sort by key alone; ties keep add order — identical to the
+        # in-memory operators' list.sort(key=..., reverse=...) semantics.
+        self._pending.sort(key=lambda item: item[0], reverse=self._descending)
+
+    def _spill_run(self) -> None:
+        if not self._pending:
+            return
+        self._sort_pending()
+        run = self._manager.create_file("sortrun")
+        for key, seq, t, extra in self._pending:
+            run.append(seq, t, extra=(key, extra), store_lineage=self._store_lineage)
+        run.finish()
+        self._runs.append(run)
+        self._pending = []
+        self._pending_bytes = 0
+
+    # -- draining ------------------------------------------------------------
+
+    @property
+    def run_count(self) -> int:
+        """Number of spilled runs (0 means the sort stayed in memory)."""
+        return len(self._runs)
+
+    def sorted(self) -> Iterator[Tuple[Any, int, Optional[ProbabilisticTuple], Any]]:
+        """Yield ``(key, seq, tuple, extra)`` in stable sorted order."""
+        if not self._runs:
+            self._sort_pending()
+            for item in self._pending:
+                yield item
+            return
+        # Spill the tail so everything merges uniformly.
+        self._spill_run()
+        SPILL_STATS.on_sort_spill(len(self._runs))
+
+        descending = self._descending
+
+        def frames(run: SpillFile) -> Iterator[Tuple[Any, int, Optional[ProbabilisticTuple], Any]]:
+            for seq, t, extra in run.read():
+                key, user_extra = extra
+                yield key, seq, t, user_extra
+
+        def merge_key(item: Tuple[Any, int, Any, Any]) -> Tuple[Any, int]:
+            key, seq = item[0], item[1]
+            return (_Reversed(key), seq) if descending else (key, seq)
+
+        for item in heapq.merge(*(frames(r) for r in self._runs), key=merge_key):
+            yield item
+
+
+class _Reversed:
+    """Inverts comparison so heapq.merge can honour ``descending``.
+
+    Ties compare equal, letting the tuple's second element (ascending
+    ``seq``) break them — the stable-sort tie rule.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value

@@ -60,6 +60,8 @@ FAULT_POINTS = (
     "snapshot.rename.after",   # snapshot installed
     # -- heap page flushes (reached while folding pages into a snapshot) ----
     "heap.page.write",
+    # -- spill files (memory-bounded operators writing run/partition files) --
+    "spill.write",           # crash just after a spill frame reached disk
 )
 
 

@@ -588,7 +588,12 @@ def plan_select(catalog: Catalog, stmt: ast.Select) -> Operator:
     if stmt.order_by_prob:
         plan = SortByProbability(plan, store, descending=stmt.order_desc, config=config)
     elif stmt.order_by:
-        plan = Sort(plan, [binder.resolve(c) for c in stmt.order_by], stmt.order_desc)
+        plan = Sort(
+            plan,
+            [binder.resolve(c) for c in stmt.order_by],
+            stmt.order_desc,
+            config=config,
+        )
     if stmt.limit is not None:
         plan = Limit(plan, stmt.limit, offset=stmt.offset)
     _fill_estimates(plan)

@@ -355,6 +355,13 @@ class TriangularPdf(ContinuousPdf):
             {"lo": lo, "mode": mode, "hi": hi},
             attr,
         )
+        self._lo = float(lo)
+        self._hi = float(hi)
+
+    def _raw_support(self) -> Tuple[float, float]:
+        # Closed form: freezing the scipy dist just to learn [lo, hi] costs
+        # ~1ms per pdf (doc construction) and dominates bulk-load encoding.
+        return (self._lo, self._hi)
 
 
 class GammaPdf(ContinuousPdf):

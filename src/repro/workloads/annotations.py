@@ -11,7 +11,7 @@ uncertainty via partial pdfs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -52,14 +52,18 @@ def generate_annotations(
     labels: Sequence[str] = DEFAULT_LABELS,
     ambiguous_fraction: float = 0.4,
     missing_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[AnnotatedToken]:
     """``n`` annotated tokens.
 
     ``ambiguous_fraction`` of the tokens spread probability over two or
     three labels; ``missing_fraction`` carry a partial pdf (the annotator
-    believes the token may not be an entity at all).
+    believes the token may not be an entity at all).  Pass ``rng`` to share
+    one explicit random stream across generators; otherwise one is derived
+    from ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     out = []
     for i in range(n):
         doc_id = int(rng.integers(1, max(n // 20, 2)))

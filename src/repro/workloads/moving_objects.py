@@ -10,7 +10,7 @@ Gaussian positions whose correlation follows the direction of motion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -41,13 +41,21 @@ class MovingObject:
         )
 
 
-def generate_moving_objects(n: int, seed: int = 0, area: float = 100.0) -> List[MovingObject]:
+def generate_moving_objects(
+    n: int,
+    seed: int = 0,
+    area: float = 100.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[MovingObject]:
     """``n`` objects uniformly placed in [0, area]^2.
 
     Position variances are drawn from [0.5, 4.0]; the x/y correlation from
-    [-0.8, 0.8], mimicking heading-aligned GPS error ellipses.
+    [-0.8, 0.8], mimicking heading-aligned GPS error ellipses.  Pass ``rng``
+    to share one explicit random stream across generators; otherwise one is
+    derived from ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     out = []
     for i in range(n):
         out.append(

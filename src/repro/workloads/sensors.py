@@ -15,7 +15,7 @@ a b-bucket histogram approximation, and a k-point discrete sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -69,17 +69,28 @@ class RangeQuery:
         return self.hi - self.lo
 
 
-def generate_readings(n: int, seed: int = 0) -> List[Reading]:
-    """``n`` sensor readings per the paper's distribution of parameters."""
-    rng = np.random.default_rng(seed)
+def generate_readings(
+    n: int, seed: int = 0, rng: Optional[np.random.Generator] = None
+) -> List[Reading]:
+    """``n`` sensor readings per the paper's distribution of parameters.
+
+    All randomness flows through one explicit generator: pass ``rng`` to
+    share a stream across generators, otherwise one is derived from
+    ``seed``.  Equal seeds give bitwise-identical outputs.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
     means = rng.uniform(0.0, 100.0, size=n)
     sigmas = np.maximum(rng.normal(2.0, 0.5, size=n), _MIN_SIGMA)
     return [Reading(i + 1, float(m), float(s)) for i, (m, s) in enumerate(zip(means, sigmas))]
 
 
-def generate_range_queries(n: int, seed: int = 1) -> List[RangeQuery]:
+def generate_range_queries(
+    n: int, seed: int = 1, rng: Optional[np.random.Generator] = None
+) -> List[RangeQuery]:
     """``n`` range queries per the paper's distribution of parameters."""
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     midpoints = rng.uniform(0.0, 100.0, size=n)
     lengths = np.maximum(rng.normal(10.0, 3.0, size=n), 0.5)
     return [

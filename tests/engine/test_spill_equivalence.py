@@ -1,0 +1,268 @@
+"""Property tests: memory-bounded (spill-to-disk) execution ≡ in-memory.
+
+With ``ModelConfig.work_mem`` set, HashJoin partitions to disk Grace-style,
+Sort / ORDER BY PROB(*) run an external merge sort, and DISTINCT groups via
+spilled runs.  The invariant is the repo-wide one: the spilled result
+stream — tuple ids, order, and contents — is **bitwise identical** to the
+in-memory stream, under any budget down to the pathological ``work_mem=1``
+(every operator state spills immediately).  Joins are additionally checked
+against the NestedLoopJoin reference (semantic equality; pair ids differ
+because the nested loop draws ids for non-matching pairs too).
+
+The crash test arms the ``spill.write`` fault point on a durable database:
+the injected crash must leave partially-written spill files behind (the
+point fires only after frames reached disk) and recovery must clear them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Column, DataType, ProbabilisticRelation, ProbabilisticSchema
+from repro.core.model import ModelConfig
+from repro.core.operations import PDF_OP_CACHE
+from repro.core.predicates import Comparison
+from repro.engine import faults
+from repro.engine.database import Database
+from repro.engine.executor import (
+    Distinct,
+    HashJoin,
+    NestedLoopJoin,
+    RelationScan,
+    Sort,
+    SortByProbability,
+)
+from repro.engine.executor.spill import SPILL_STATS, ExternalSorter, SpillManager
+from repro.engine.faults import InjectedCrash
+from repro.engine.sql.planner import execute_plan
+
+from .test_batch_equivalence import assert_rows_equal, pdf_values
+
+#: ``None`` is the in-memory baseline; ``1`` forces a spill on the first
+#: buffered tuple; ``4096`` spills only the larger examples.
+BUDGETS = (None, 1, 4096)
+
+
+@st.composite
+def keyed_relations(draw, prefix, store=None, max_size=10):
+    """A relation with a low-cardinality (possibly NULL) certain join key.
+
+    Keys repeat so hash joins produce real multi-match buckets, and the
+    uncertain column exercises NULL, partial (floored), and symbolic pdfs.
+    """
+    attr = f"{prefix}v"
+    schema = ProbabilisticSchema(
+        [
+            Column(f"{prefix}id", DataType.INT),
+            Column(f"{prefix}k", DataType.INT),
+            Column(attr, DataType.REAL),
+        ],
+        [{attr}],
+    )
+    rel = ProbabilisticRelation(schema, store=store, name=prefix)
+    n = draw(st.integers(0, max_size))
+    for i in range(n):
+        key = draw(st.one_of(st.none(), st.integers(0, 3)))
+        rel.insert(
+            certain={f"{prefix}id": i, f"{prefix}k": key},
+            uncertain={attr: draw(pdf_values(attr))},
+        )
+    return rel
+
+
+def run_budgets(make_plan, store, batch_size=7):
+    """Rows per work_mem budget, from one shared tuple-id baseline."""
+    out = {}
+    id0 = store._next_tuple_id
+    for wm in BUDGETS:
+        store._next_tuple_id = id0
+        PDF_OP_CACHE.reset()
+        config = ModelConfig(batch_size=batch_size, work_mem=wm)
+        out[wm] = execute_plan(make_plan(config), config)
+    return out
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_hash_join_spill_equivalence(data):
+    left = data.draw(keyed_relations("l"))
+    right = data.draw(keyed_relations("r", store=left.store))
+    store = left.store
+    # The hash prefilter enforces key equality; the residual probabilistic
+    # term exercises the post-hash SelectionPlan (pdf flooring) path too.
+    lo = data.draw(st.floats(-8, 8))
+    residual = Comparison("lv", ">", lo)
+
+    def make_plan(config):
+        return HashJoin(
+            RelationScan(left),
+            RelationScan(right),
+            "lk",
+            "rk",
+            residual,
+            store,
+            config,
+        )
+
+    rows = run_budgets(make_plan, store)
+    for wm in BUDGETS[1:]:
+        # Spilled ≡ in-memory: bitwise, including the tuple-id stream.
+        assert_rows_equal(rows[None], rows[wm], store)
+
+    # Semantic reference: a nested loop with the hash prefilter folded into
+    # the predicate produces the same pairs (ids differ by construction).
+    def make_nlj(config):
+        return NestedLoopJoin(
+            RelationScan(left),
+            RelationScan(right),
+            residual,
+            store,
+            config,
+        )
+
+    store._next_tuple_id = 10_000_000
+    PDF_OP_CACHE.reset()
+    config = ModelConfig(batch_size=7)
+    nlj_rows = [
+        t
+        for t in execute_plan(make_nlj(config), config)
+        if t.certain.get("lk") is not None
+        and t.certain.get("lk") == t.certain.get("rk")
+    ]
+    assert_rows_equal(rows[None], nlj_rows, store, compare_ids=False)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_sort_spill_equivalence(data):
+    rel = data.draw(keyed_relations("s", max_size=14))
+    descending = data.draw(st.booleans())
+
+    def make_plan(config):
+        # Sorting on the repeating key column exercises stable-tie handling.
+        return Sort(RelationScan(rel), ["sk"], descending, config=config)
+
+    rows = run_budgets(make_plan, rel.store)
+    for wm in BUDGETS[1:]:
+        assert_rows_equal(rows[None], rows[wm], rel.store)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_sort_by_probability_spill_equivalence(data):
+    rel = data.draw(keyed_relations("p", max_size=14))
+
+    def make_plan(config):
+        return SortByProbability(RelationScan(rel), rel.store, config=config)
+
+    rows = run_budgets(make_plan, rel.store)
+    for wm in BUDGETS[1:]:
+        assert_rows_equal(rows[None], rows[wm], rel.store)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_distinct_spill_equivalence(data):
+    rel = data.draw(keyed_relations("d", max_size=14))
+
+    def make_plan(config):
+        from repro.engine.executor import Project
+
+        return Distinct(
+            Project(RelationScan(rel), ["dk"], config), rel.store, config
+        )
+
+    rows = run_budgets(make_plan, rel.store)
+    for wm in BUDGETS[1:]:
+        assert_rows_equal(rows[None], rows[wm], rel.store)
+
+
+def test_spill_stats_report_runs_and_partitions():
+    """A forced spill surfaces in SPILL_STATS and in EXPLAIN ANALYZE."""
+    schema = ProbabilisticSchema(
+        [Column("id", DataType.INT), Column("k", DataType.INT)], []
+    )
+    rel = ProbabilisticRelation(schema, name="big")
+    for i in range(100):
+        rel.insert(certain={"id": i, "k": i % 5})
+    config = ModelConfig(batch_size=16, work_mem=1)
+    SPILL_STATS.reset()
+    sort = Sort(RelationScan(rel), ["k"], config=config)
+    out = execute_plan(sort, config)
+    assert len(out) == 100
+    assert sort.sort_runs > 1
+    assert any("sort_runs=" in e for e in sort.explain_extras())
+    snap = SPILL_STATS.snapshot()
+    assert snap["sort_spills"] >= 1 and snap["bytes_written"] > 0
+
+
+def test_external_sorter_lineage_roundtrip(tmp_path):
+    """Frames preserve lineage refs bitwise through the disk round-trip."""
+    schema = ProbabilisticSchema(
+        [Column("id", DataType.INT), Column("v", DataType.REAL)], [{"v"}]
+    )
+    rel = ProbabilisticRelation(schema, name="lin")
+    for i in range(30):
+        rel.insert(certain={"id": i}, uncertain={"v": None})
+    with SpillManager(str(tmp_path), label="t") as mgr:
+        sorter = ExternalSorter(mgr, work_mem=1)
+        for i, t in enumerate(rel.tuples):
+            sorter.add(-i, t)
+        got = [item[2] for item in sorter.sorted()]
+    assert sorter.run_count == 30
+    expect = list(reversed(rel.tuples))
+    assert [t.tuple_id for t in got] == [t.tuple_id for t in expect]
+    assert [t.certain for t in got] == [t.certain for t in expect]
+    assert [t.lineage for t in got] == [t.lineage for t in expect]
+
+
+def _spill_leftovers(path):
+    spill_dir = os.path.join(path, "spill")
+    if not os.path.isdir(spill_dir):
+        return []
+    return [
+        os.path.join(root, f)
+        for root, _, files in os.walk(spill_dir)
+        for f in files
+    ]
+
+
+def test_mid_spill_crash_leaves_files_and_recovery_cleans(tmp_path):
+    """Crash at ``spill.write``: files persist the crash, recovery clears them."""
+    from dataclasses import replace
+
+    path = str(tmp_path / "db")
+    db = Database(path=path)
+    db.execute("CREATE TABLE t (id INT, v REAL UNCERTAIN)")
+    for i in range(30):
+        db.execute(f"INSERT INTO t VALUES ({i}, GAUSSIAN({i}, 1))")
+    db.catalog.config = replace(db.catalog.config, work_mem=1)
+
+    faults.disarm_all()  # earlier tests advanced the spill.write hit counter
+    faults.arm("spill.write", 1)
+    try:
+        with pytest.raises(InjectedCrash):
+            db.execute("SELECT id FROM t ORDER BY id DESC")
+    finally:
+        faults.disarm_all()
+
+    # The fault fires only after the frame bytes were written and flushed,
+    # so the simulated crash must leave observable spill files behind.
+    leftovers = _spill_leftovers(path)
+    assert leftovers, "spill.write crash left no files on disk"
+    if db._wal is not None:
+        db._wal.discard()  # simulated process death
+
+    recovered = Database(path=path)
+    try:
+        assert _spill_leftovers(path) == [], "recovery kept stale spill files"
+        # The data itself is intact and memory-bounded queries work again.
+        recovered.catalog.config = replace(recovered.catalog.config, work_mem=1)
+        out = recovered.execute("SELECT id FROM t ORDER BY id DESC")
+        assert [t.certain["id"] for t in out] == list(range(29, -1, -1))
+    finally:
+        recovered.close()

@@ -25,6 +25,10 @@ from repro.engine import faults
 from repro.engine.database import Database
 from repro.engine.faults import FAULT_POINTS, InjectedCrash
 
+# The full matrix (every fault point x first/middle/last hit) is minutes of
+# work; tier-1 deselects it and the dedicated slow CI job runs it.
+pytestmark = pytest.mark.slow
+
 #: The workload, as committed units.  Single-statement units autocommit;
 #: the multi-statement unit runs as one explicit transaction.  "SAVE"
 #: snapshots to a side file (exercising the snapshot fault points).

@@ -1,0 +1,215 @@
+"""Statistical contract of the uncertain-TPC-H generator.
+
+The generator *declares* its distributions (family weights, parameter
+ranges, exact violator counts) so tests can hold it to them:
+
+* chi-square: the realised pdf-family mix of ``l_extendedprice`` and
+  ``l_shipdate`` matches the declared weights at scale factor 0.01,
+* Kolmogorov–Smirnov: the uniform-family support starts are U(lo-range),
+* denial constraints: each constraint's violation predicate selects
+  **exactly** the declared number of rows — non-violators carry zero
+  violation probability by construction, violators strictly positive,
+* repair by conditioning empties the violation predicate on the cleaned
+  table,
+* same seed ⇒ bitwise-identical ``Database.dump_state()``, and every
+  other workload generator accepts one explicit shared RNG stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.core.threshold import probability_of
+from repro.engine.database import Database
+from repro.pdf.continuous import TriangularPdf, UniformPdf
+from repro.pdf.discrete import DiscretePdf
+from repro.pdf.histogram import HistogramPdf
+from repro.workloads import (
+    PRICE_FAMILY_WEIGHTS,
+    PRICE_LO_RANGE,
+    QUANTITY_BOUND,
+    SHIPDATE_FAMILY_WEIGHTS,
+    TpchConfig,
+    default_constraints,
+    generate_annotations,
+    generate_moving_objects,
+    generate_range_queries,
+    generate_readings,
+    generate_tpch,
+    synthesize,
+    table_row_counts,
+)
+
+#: Loose-alpha acceptance for the distribution tests: at a fixed seed the
+#: draws are deterministic, so this never flakes; it fails only if the
+#: generator's realised distributions drift from the declared contract.
+ALPHA = 0.001
+
+_SF001 = TpchConfig(scale_factor=0.01, seed=3)
+
+_SMALL = TpchConfig(
+    lineitem_rows=1500, orders_rows=400, part_rows=80, seed=11,
+    violations_per_constraint=7,
+)
+
+_FAMILY_OF = {UniformPdf: "uniform", TriangularPdf: "triangular", HistogramPdf: "histogram"}
+
+
+def _pdf(row, column):
+    return row[1][column]
+
+
+class TestStatisticalContract:
+    @classmethod
+    def setup_class(cls):
+        cls.data = synthesize(_SF001)
+        cls.price_violators = set(cls.data.violators["price_cap"].tolist())
+        cls.ship_violators = set(cls.data.violators["shipdate_horizon"].tolist())
+        cls.quantity_violators = set(cls.data.violators["quantity_cap"].tolist())
+
+    def test_row_counts_follow_scale_factor(self):
+        counts = table_row_counts(_SF001)
+        assert counts == {"lineitem": 60_000, "orders": 15_000, "part": 2_000}
+        assert len(self.data.lineitem) == 60_000
+
+    def test_price_family_mix_chi_square(self):
+        observed = {name: 0 for name, _ in PRICE_FAMILY_WEIGHTS}
+        for i, row in enumerate(self.data.lineitem):
+            if i in self.price_violators:
+                continue
+            observed[_FAMILY_OF[type(_pdf(row, "l_extendedprice"))]] += 1
+        n = sum(observed.values())
+        obs = [observed[name] for name, _ in PRICE_FAMILY_WEIGHTS]
+        exp = [n * w for _, w in PRICE_FAMILY_WEIGHTS]
+        _, p = stats.chisquare(obs, exp)
+        assert p > ALPHA, f"price family mix {observed} drifted from declared weights"
+
+    def test_shipdate_family_mix_chi_square(self):
+        observed = {name: 0 for name, _ in SHIPDATE_FAMILY_WEIGHTS}
+        for i, row in enumerate(self.data.lineitem):
+            if i in self.ship_violators:
+                continue
+            observed[_FAMILY_OF[type(_pdf(row, "l_shipdate"))]] += 1
+        n = sum(observed.values())
+        obs = [observed[name] for name, _ in SHIPDATE_FAMILY_WEIGHTS]
+        exp = [n * w for _, w in SHIPDATE_FAMILY_WEIGHTS]
+        _, p = stats.chisquare(obs, exp)
+        assert p > ALPHA, f"shipdate family mix {observed} drifted from declared weights"
+
+    def test_uniform_price_support_start_ks(self):
+        los = [
+            _pdf(row, "l_extendedprice").params["lo"]
+            for i, row in enumerate(self.data.lineitem)
+            if i not in self.price_violators
+            and type(_pdf(row, "l_extendedprice")) is UniformPdf
+        ]
+        assert len(los) > 1000
+        lo, hi = PRICE_LO_RANGE
+        _, p = stats.kstest(np.array(los), "uniform", args=(lo, hi - lo))
+        assert p > ALPHA, "uniform price support starts drifted from U(lo-range)"
+
+    def test_quantity_supports_respect_the_bound(self):
+        for i, row in enumerate(self.data.lineitem):
+            pdf = _pdf(row, "l_quantity")
+            assert isinstance(pdf, DiscretePdf)
+            top = max(v for v, _ in pdf.items())
+            if i in self.quantity_violators:
+                assert top > QUANTITY_BOUND
+                mass_above = sum(m for v, m in pdf.items() if v > QUANTITY_BOUND)
+                # Injected violation probability stays well above the pdf
+                # mass floor, so SQL selections never drop a violator.
+                assert mass_above >= 0.02
+            else:
+                assert top < QUANTITY_BOUND
+
+    def test_partial_fraction_realised(self):
+        partial = sum(
+            1
+            for row in self.data.lineitem
+            if _pdf(row, "l_quantity").mass() < 1.0 - 1e-9
+        )
+        # partial_fraction=0.05 of 60k rows; binomial 3-sigma band.
+        assert 2600 <= partial <= 3400
+
+
+class TestDenialConstraints:
+    @classmethod
+    def setup_class(cls):
+        cls.db = Database()
+        cls.constraints = generate_tpch(cls.db, _SMALL)
+
+    def test_violation_predicates_select_exactly_the_injected_rows(self):
+        for c in self.constraints:
+            res = self.db.execute(
+                f"SELECT l_linenumber FROM {c.table} WHERE {c.violation_predicate}"
+            )
+            assert len(res) == c.count, c.name
+
+    def test_ranking_orders_by_violation_probability(self):
+        c = self.constraints[0]
+        res = self.db.execute(c.ranking_sql(columns="l_linenumber"))
+        assert len(res) == c.count
+        probs = [
+            probability_of(t, self.db.catalog.store, None, self.db.config)
+            for t in res
+        ]
+        assert probs == sorted(probs, reverse=True)
+        assert all(p > 0 for p in probs)
+
+    def test_repair_by_conditioning_empties_the_violation(self):
+        c = self.constraints[1]
+        self.db.execute(c.repair_sql("lineitem_clean"))
+        res = self.db.execute(
+            f"SELECT l_linenumber FROM lineitem_clean WHERE {c.violation_predicate}"
+        )
+        assert len(res) == 0
+        kept = self.db.execute("SELECT l_linenumber FROM lineitem_clean")
+        assert len(kept) == _SMALL.n_lineitem
+
+
+class TestDeterminism:
+    def test_same_seed_bitwise_identical_database(self):
+        db1, db2 = Database(), Database()
+        generate_tpch(db1, _SMALL)
+        generate_tpch(db2, _SMALL)
+        assert db1.dump_state() == db2.dump_state()
+
+    def test_different_seed_differs(self):
+        other = TpchConfig(
+            lineitem_rows=1500, orders_rows=400, part_rows=80, seed=12,
+            violations_per_constraint=7,
+        )
+        db1, db2 = Database(), Database()
+        generate_tpch(db1, _SMALL)
+        generate_tpch(db2, other)
+        assert db1.dump_state() != db2.dump_state()
+
+    def test_generators_thread_one_explicit_rng(self):
+        """Every workload generator accepts a caller-owned Generator.
+
+        Passing ``rng=default_rng(seed)`` must reproduce the seed path
+        bitwise, and one shared stream across calls must be deterministic.
+        """
+        assert generate_readings(50, seed=9) == generate_readings(
+            50, rng=np.random.default_rng(9)
+        )
+        assert generate_range_queries(50, seed=9) == generate_range_queries(
+            50, rng=np.random.default_rng(9)
+        )
+        assert generate_moving_objects(50, seed=9) == generate_moving_objects(
+            50, rng=np.random.default_rng(9)
+        )
+        assert generate_annotations(50, seed=9) == generate_annotations(
+            50, rng=np.random.default_rng(9)
+        )
+        # One shared stream: the second call continues where the first left
+        # off, and the whole sequence is reproducible.
+        rng_a = np.random.default_rng(77)
+        rng_b = np.random.default_rng(77)
+        seq_a = (generate_readings(20, rng=rng_a), generate_moving_objects(20, rng=rng_a))
+        seq_b = (generate_readings(20, rng=rng_b), generate_moving_objects(20, rng=rng_b))
+        assert seq_a == seq_b
+
+    def test_constraint_metadata_deterministic(self):
+        assert default_constraints(_SMALL) == default_constraints(_SMALL)
